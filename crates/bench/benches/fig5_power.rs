@@ -1,0 +1,24 @@
+//! Criterion bench: the Figure 5 power evaluation.
+//!
+//! Regenerates: paper Figure 5 — the iso-latency and iso-frequency power
+//! comparison between PELS-mediated and Ibex-interrupt-mediated linking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pels_bench::experiments;
+use pels_soc::{Mediator, Scenario};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("iso_latency_pels_run", |b| {
+        b.iter(|| Scenario::iso_latency(Mediator::PelsSequenced).run())
+    });
+    g.bench_function("iso_latency_ibex_run", |b| {
+        b.iter(|| Scenario::iso_latency(Mediator::IbexIrq).run())
+    });
+    g.bench_function("full_figure", |b| b.iter(experiments::fig5));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p pels-bench --bin reproduce --release            # everything
+//! cargo run -p pels-bench --bin reproduce -- table1 fig5      # a subset
+//! ```
+//!
+//! Artifacts: `table1`, `fig3`, `fig5`, `latency`, `fig6a`, `fig6b`,
+//! `ablations`, `extensions`.
+
+use pels_bench::{ablations, experiments, sota};
+use std::process::ExitCode;
+
+const ALL: &[&str] = &[
+    "table1", "fig3", "latency", "fig5", "fig6a", "fig6b", "ablations", "extensions",
+];
+
+fn run_one(artifact: &str) -> Result<(), String> {
+    let text = match artifact {
+        "table1" => {
+            let mut s = String::from(
+                "Table I - autonomous peripheral-event handling systems\n",
+            );
+            s.push_str(&sota::render_table1());
+            s
+        }
+        "fig3" => experiments::render_fig3(),
+        "latency" => experiments::render_latency(),
+        "fig5" => experiments::render_fig5(),
+        "fig6a" => experiments::render_fig6a(),
+        "fig6b" => experiments::render_fig6b(),
+        "ablations" => ablations::render_all(),
+        "extensions" => experiments::render_extension_link_power(),
+        other => return Err(format!("unknown artifact `{other}` (expected one of {ALL:?})")),
+    };
+    println!("================================================================");
+    println!("{text}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for artifact in selected {
+        if let Err(e) = run_one(artifact) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,234 @@
+//! Table I: feature comparison of autonomous peripheral-event handling
+//! systems.
+//!
+//! The paper's Table I is qualitative; we encode it as a typed feature
+//! model so the comparison is regenerable (and extensible — adding a new
+//! system is one struct literal) and so the paper's *claim* — that PELS
+//! is the only system offering both instant and sequenced actions in the
+//! open — is checkable by a test rather than by eyeballing.
+
+use std::fmt;
+
+/// Event-routing topology of a linking system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Multiplexer/demultiplexer channels (one producer per channel).
+    Channel,
+    /// Full connection matrix.
+    Matrix,
+    /// No dedicated event interconnect (CPU-style access paths).
+    None,
+}
+
+impl fmt::Display for Routing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Routing::Channel => f.write_str("channel"),
+            Routing::Matrix => f.write_str("matrix"),
+            Routing::None => f.write_str("-"),
+        }
+    }
+}
+
+/// Event-processing capability attached to the routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Processing {
+    /// No processing: pure routing.
+    None,
+    /// Fixed combinational functions of the routed events.
+    Combinational,
+    /// Configurable logic blocks (small embedded FPGA fabric).
+    Clb,
+    /// Vendor-specific custom function blocks (LUTs, limited broadcast).
+    Custom,
+    /// A microcoded engine (NXP XGATE; PELS).
+    Microcode,
+}
+
+impl fmt::Display for Processing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Processing::None => f.write_str("-"),
+            Processing::Combinational => f.write_str("combinational"),
+            Processing::Clb => f.write_str("CLB"),
+            Processing::Custom => f.write_str("custom"),
+            Processing::Microcode => f.write_str("microcode"),
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct SotaSystem {
+    /// Vendor/system name.
+    pub name: &'static str,
+    /// Industry or academia.
+    pub origin: Origin,
+    /// Event-routing topology.
+    pub routing: Routing,
+    /// Processing capability.
+    pub processing: Processing,
+    /// Single-wire event lines between peripherals.
+    pub instant_actions: bool,
+    /// Arbitrary commands over the system interconnect.
+    pub sequenced_actions: bool,
+    /// Implementation available in the open-source domain.
+    pub open_source: bool,
+}
+
+/// Where a system comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Commercial silicon.
+    Industry,
+    /// Published academic design.
+    Academia,
+}
+
+/// The systems of Table I, in the paper's order, with PELS last.
+pub fn table1() -> Vec<SotaSystem> {
+    vec![
+        SotaSystem {
+            name: "Silicon Labs PRS",
+            origin: Origin::Industry,
+            routing: Routing::Channel,
+            processing: Processing::Combinational,
+            instant_actions: true,
+            sequenced_actions: false,
+            open_source: false,
+        },
+        SotaSystem {
+            name: "Renesas LELC",
+            origin: Origin::Industry,
+            routing: Routing::Channel,
+            processing: Processing::Clb,
+            instant_actions: true,
+            sequenced_actions: false,
+            open_source: false,
+        },
+        SotaSystem {
+            name: "Microchip EVSYS",
+            origin: Origin::Industry,
+            routing: Routing::Channel,
+            processing: Processing::Custom,
+            instant_actions: true,
+            sequenced_actions: false,
+            open_source: false,
+        },
+        SotaSystem {
+            name: "Nordic PPI",
+            origin: Origin::Industry,
+            routing: Routing::Channel,
+            processing: Processing::Custom,
+            instant_actions: true,
+            sequenced_actions: false,
+            open_source: false,
+        },
+        SotaSystem {
+            name: "STMicroelectronics PIM",
+            origin: Origin::Industry,
+            routing: Routing::Matrix,
+            processing: Processing::None,
+            instant_actions: true,
+            sequenced_actions: false,
+            open_source: false,
+        },
+        SotaSystem {
+            name: "NXP XGATE",
+            origin: Origin::Industry,
+            routing: Routing::None,
+            processing: Processing::Microcode,
+            instant_actions: false,
+            sequenced_actions: true,
+            open_source: false,
+        },
+        SotaSystem {
+            name: "AESRN (Bjornerud et al.)",
+            origin: Origin::Academia,
+            routing: Routing::Channel,
+            processing: Processing::Clb,
+            instant_actions: true,
+            sequenced_actions: false,
+            open_source: false,
+        },
+        SotaSystem {
+            name: "PELS (this work)",
+            origin: Origin::Academia,
+            routing: Routing::Channel,
+            processing: Processing::Microcode,
+            instant_actions: true,
+            sequenced_actions: true,
+            open_source: true,
+        },
+    ]
+}
+
+/// Renders the table as aligned text.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:<9} {:<14} {:<8} {:<10} {:<6}\n",
+        "System", "Routing", "Processing", "Instant", "Sequenced", "Open"
+    ));
+    out.push_str(&"-".repeat(78));
+    out.push('\n');
+    let tick = |b: bool| if b { "yes" } else { "no" };
+    for s in table1() {
+        out.push_str(&format!(
+            "{:<26} {:<9} {:<14} {:<8} {:<10} {:<6}\n",
+            s.name,
+            s.routing.to_string(),
+            s.processing.to_string(),
+            tick(s.instant_actions),
+            tick(s.sequenced_actions),
+            tick(s.open_source),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_the_papers_eight_rows() {
+        assert_eq!(table1().len(), 8);
+    }
+
+    #[test]
+    fn pels_is_the_only_open_source_system() {
+        let open: Vec<_> = table1().into_iter().filter(|s| s.open_source).collect();
+        assert_eq!(open.len(), 1);
+        assert!(open[0].name.contains("PELS"));
+    }
+
+    #[test]
+    fn pels_uniquely_combines_instant_and_sequenced() {
+        let both: Vec<_> = table1()
+            .into_iter()
+            .filter(|s| s.instant_actions && s.sequenced_actions)
+            .collect();
+        assert_eq!(both.len(), 1, "the paper's central Table I claim");
+        assert!(both[0].name.contains("PELS"));
+    }
+
+    #[test]
+    fn xgate_is_the_only_prior_microcode_system() {
+        let prior_microcode: Vec<_> = table1()
+            .into_iter()
+            .filter(|s| s.processing == Processing::Microcode && !s.name.contains("PELS"))
+            .collect();
+        assert_eq!(prior_microcode.len(), 1);
+        assert_eq!(prior_microcode[0].name, "NXP XGATE");
+        assert!(!prior_microcode[0].instant_actions);
+    }
+
+    #[test]
+    fn render_contains_all_systems() {
+        let text = render_table1();
+        for s in table1() {
+            assert!(text.contains(s.name), "missing {}", s.name);
+        }
+    }
+}

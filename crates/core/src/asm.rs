@@ -1,0 +1,481 @@
+//! A small textual assembler for PELS microcode.
+//!
+//! The paper presents linking programs as pseudocode (Figure 3); this
+//! assembler accepts essentially that syntax so examples and tests read
+//! like the paper:
+//!
+//! ```text
+//! ; threshold-triggered actuation (Figure 3)
+//! check:
+//!     capture 6, 0xFFF        ; read masked sensor sample
+//!     jump-if geu, @above, 2000
+//!     halt
+//! above:
+//!     action pulse, 0, 0x100  ; instant action on line 8
+//! ```
+//!
+//! * one command per line; `;` or `#` start a comment;
+//! * `label:` defines an SCM line label, `@label` references it in
+//!   `jump-if`/`loop` targets (raw line numbers also accepted);
+//! * numbers are decimal or `0x`-prefixed hex.
+
+use crate::command::{ActionMode, Command, Cond};
+use crate::program::{Program, ProgramError};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Assembly failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// Classification of an [`AsmError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// Unknown mnemonic.
+    UnknownMnemonic(String),
+    /// Wrong operand count for the mnemonic.
+    OperandCount {
+        /// The mnemonic.
+        mnemonic: String,
+        /// Operands expected.
+        expected: usize,
+        /// Operands found.
+        found: usize,
+    },
+    /// An operand did not parse as a number.
+    BadNumber(String),
+    /// Unknown condition code.
+    BadCond(String),
+    /// Unknown action mode.
+    BadMode(String),
+    /// A `@label` reference without a definition.
+    UndefinedLabel(String),
+    /// The same label defined twice.
+    DuplicateLabel(String),
+    /// The assembled program failed validation.
+    Program(ProgramError),
+    /// A value exceeded its field range.
+    Range(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::OperandCount {
+                mnemonic,
+                expected,
+                found,
+            } => write!(f, "`{mnemonic}` takes {expected} operands, found {found}"),
+            AsmErrorKind::BadNumber(s) => write!(f, "`{s}` is not a number"),
+            AsmErrorKind::BadCond(s) => write!(f, "`{s}` is not a condition"),
+            AsmErrorKind::BadMode(s) => write!(f, "`{s}` is not an action mode"),
+            AsmErrorKind::UndefinedLabel(s) => write!(f, "undefined label `{s}`"),
+            AsmErrorKind::DuplicateLabel(s) => write!(f, "duplicate label `{s}`"),
+            AsmErrorKind::Program(e) => write!(f, "{e}"),
+            AsmErrorKind::Range(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+fn parse_u32(tok: &str, line: usize) -> Result<u32, AsmError> {
+    let tok = tok.trim();
+    let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::BadNumber(tok.to_owned()),
+    })
+}
+
+fn parse_u16_field(tok: &str, line: usize, what: &str) -> Result<u16, AsmError> {
+    let v = parse_u32(tok, line)?;
+    u16::try_from(v).map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::Range(format!("{what} {v} out of range")),
+    })
+}
+
+fn parse_target(
+    tok: &str,
+    labels: &HashMap<String, u16>,
+    line: usize,
+) -> Result<u16, AsmError> {
+    let tok = tok.trim();
+    if let Some(name) = tok.strip_prefix('@') {
+        labels.get(name).copied().ok_or_else(|| AsmError {
+            line,
+            kind: AsmErrorKind::UndefinedLabel(name.to_owned()),
+        })
+    } else {
+        parse_u16_field(tok, line, "target")
+    }
+}
+
+fn parse_cond(tok: &str, line: usize) -> Result<Cond, AsmError> {
+    Ok(match tok.trim().to_ascii_lowercase().as_str() {
+        "eq" => Cond::Eq,
+        "ne" => Cond::Ne,
+        "ltu" => Cond::LtU,
+        "geu" => Cond::GeU,
+        "lts" => Cond::LtS,
+        "ges" => Cond::GeS,
+        other => {
+            return Err(AsmError {
+                line,
+                kind: AsmErrorKind::BadCond(other.to_owned()),
+            })
+        }
+    })
+}
+
+fn parse_mode(tok: &str, line: usize) -> Result<ActionMode, AsmError> {
+    Ok(match tok.trim().to_ascii_lowercase().as_str() {
+        "pulse" => ActionMode::Pulse,
+        "set" => ActionMode::Set,
+        "clear" => ActionMode::Clear,
+        "toggle" => ActionMode::Toggle,
+        other => {
+            return Err(AsmError {
+                line,
+                kind: AsmErrorKind::BadMode(other.to_owned()),
+            })
+        }
+    })
+}
+
+struct SourceLine<'a> {
+    number: usize,
+    mnemonic: &'a str,
+    operands: Vec<&'a str>,
+}
+
+/// Strips comments/labels and collects `(line, mnemonic, operands)` plus
+/// the label table.
+fn scan(source: &str) -> Result<(Vec<SourceLine<'_>>, HashMap<String, u16>), AsmError> {
+    let mut lines = Vec::new();
+    let mut labels = HashMap::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find([';', '#']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels
+                .insert(label.to_owned(), lines.len() as u16)
+                .is_some()
+            {
+                return Err(AsmError {
+                    line: number,
+                    kind: AsmErrorKind::DuplicateLabel(label.to_owned()),
+                });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = text
+            .split_once(char::is_whitespace)
+            .unwrap_or((text, ""));
+        let operands: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        lines.push(SourceLine {
+            number,
+            mnemonic,
+            operands,
+        });
+    }
+    Ok((lines, labels))
+}
+
+/// Assembles source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending 1-based line on syntax errors,
+/// undefined labels, out-of-range fields, or program-level validation
+/// failures.
+///
+/// ```
+/// use pels_core::assemble;
+/// let p = assemble(
+///     "check: capture 6, 0xFFF
+///             jump-if geu, @hit, 2000
+///             halt
+///      hit:   action pulse, 0, 0x100",
+/// )?;
+/// assert_eq!(p.len(), 4);
+/// # Ok::<(), pels_core::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let (lines, labels) = scan(source)?;
+    let mut commands = Vec::with_capacity(lines.len());
+    for l in &lines {
+        let expect = |n: usize| -> Result<(), AsmError> {
+            if l.operands.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError {
+                    line: l.number,
+                    kind: AsmErrorKind::OperandCount {
+                        mnemonic: l.mnemonic.to_owned(),
+                        expected: n,
+                        found: l.operands.len(),
+                    },
+                })
+            }
+        };
+        let cmd = match l.mnemonic.to_ascii_lowercase().as_str() {
+            "nop" => {
+                expect(0)?;
+                Command::Nop
+            }
+            "halt" => {
+                expect(0)?;
+                Command::Halt
+            }
+            "write" => {
+                expect(2)?;
+                Command::Write {
+                    offset: parse_u16_field(l.operands[0], l.number, "offset")?,
+                    value: parse_u32(l.operands[1], l.number)?,
+                }
+            }
+            "set" => {
+                expect(2)?;
+                Command::Set {
+                    offset: parse_u16_field(l.operands[0], l.number, "offset")?,
+                    mask: parse_u32(l.operands[1], l.number)?,
+                }
+            }
+            "clear" => {
+                expect(2)?;
+                Command::Clear {
+                    offset: parse_u16_field(l.operands[0], l.number, "offset")?,
+                    mask: parse_u32(l.operands[1], l.number)?,
+                }
+            }
+            "toggle" => {
+                expect(2)?;
+                Command::Toggle {
+                    offset: parse_u16_field(l.operands[0], l.number, "offset")?,
+                    mask: parse_u32(l.operands[1], l.number)?,
+                }
+            }
+            "capture" => {
+                expect(2)?;
+                Command::Capture {
+                    offset: parse_u16_field(l.operands[0], l.number, "offset")?,
+                    mask: parse_u32(l.operands[1], l.number)?,
+                }
+            }
+            "jump-if" | "jumpif" => {
+                expect(3)?;
+                Command::JumpIf {
+                    cond: parse_cond(l.operands[0], l.number)?,
+                    target: parse_target(l.operands[1], &labels, l.number)?,
+                    operand: parse_u32(l.operands[2], l.number)?,
+                }
+            }
+            "loop" => {
+                expect(2)?;
+                Command::Loop {
+                    target: parse_target(l.operands[0], &labels, l.number)?,
+                    count: parse_u32(l.operands[1], l.number)?,
+                }
+            }
+            "wait" => {
+                expect(1)?;
+                Command::Wait {
+                    cycles: parse_u32(l.operands[0], l.number)?,
+                }
+            }
+            "action" => {
+                expect(3)?;
+                let group = parse_u32(l.operands[1], l.number)?;
+                Command::Action {
+                    mode: parse_mode(l.operands[0], l.number)?,
+                    group: u8::try_from(group).map_err(|_| AsmError {
+                        line: l.number,
+                        kind: AsmErrorKind::Range(format!("group {group} out of range")),
+                    })?,
+                    mask: parse_u32(l.operands[2], l.number)?,
+                }
+            }
+            other => {
+                return Err(AsmError {
+                    line: l.number,
+                    kind: AsmErrorKind::UnknownMnemonic(other.to_owned()),
+                })
+            }
+        };
+        commands.push(cmd);
+    }
+    Program::new(commands).map_err(|e| AsmError {
+        line: 0,
+        kind: AsmErrorKind::Program(e),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_figure_3_program() {
+        let p = assemble(
+            "; Figure 3, instant-action flavour
+             check:
+                 capture 6, 0xFFF
+                 jump-if geu, @above, 2000
+                 halt
+             above:
+                 action pulse, 0, 0x100",
+        )
+        .unwrap();
+        assert_eq!(
+            p.commands()[0],
+            Command::Capture { offset: 6, mask: 0xFFF }
+        );
+        assert_eq!(
+            p.commands()[1],
+            Command::JumpIf {
+                cond: Cond::GeU,
+                target: 3,
+                operand: 2000
+            }
+        );
+        assert_eq!(p.commands()[2], Command::Halt);
+        assert_eq!(
+            p.commands()[3],
+            Command::Action {
+                mode: ActionMode::Pulse,
+                group: 0,
+                mask: 0x100
+            }
+        );
+    }
+
+    #[test]
+    fn all_mnemonics_assemble() {
+        let p = assemble(
+            "nop
+             write 1, 2
+             set 1, 2
+             clear 1, 2
+             toggle 1, 2
+             capture 1, 2
+             jump-if eq, 0, 5
+             loop 0, 3
+             wait 10
+             action set, 1, 0xFF
+             halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 11);
+    }
+
+    #[test]
+    fn numeric_targets_and_hex() {
+        let p = assemble("jump-if ne, 1, 0xDEAD\nhalt").unwrap();
+        assert_eq!(
+            p.commands()[0],
+            Command::JumpIf {
+                cond: Cond::Ne,
+                target: 1,
+                operand: 0xDEAD
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# hash comment\n\n  ; semicolon comment\nhalt ; trailing").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("nop\nfrobnicate 1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        let e = assemble("write 1").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            AsmErrorKind::OperandCount { expected: 2, found: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let e = assemble("jump-if eq, @nowhere, 0").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UndefinedLabel(_)));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: nop\na: halt").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn bad_number_and_cond_and_mode() {
+        assert!(matches!(
+            assemble("wait banana").unwrap_err().kind,
+            AsmErrorKind::BadNumber(_)
+        ));
+        assert!(matches!(
+            assemble("jump-if zz, 0, 0\nhalt").unwrap_err().kind,
+            AsmErrorKind::BadCond(_)
+        ));
+        assert!(matches!(
+            assemble("action blink, 0, 1").unwrap_err().kind,
+            AsmErrorKind::BadMode(_)
+        ));
+    }
+
+    #[test]
+    fn program_validation_surfaces() {
+        let e = assemble("jump-if eq, 9, 0\nhalt").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::Program(_)));
+    }
+
+    #[test]
+    fn label_on_same_line_as_command() {
+        let p = assemble("top: action toggle, 0, 1\nloop @top, 2").unwrap();
+        assert_eq!(
+            p.commands()[1],
+            Command::Loop { target: 0, count: 2 }
+        );
+    }
+}

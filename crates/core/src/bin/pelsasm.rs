@@ -1,0 +1,82 @@
+//! `pelsasm` — the PELS microcode assembler as a command-line tool.
+//!
+//! Reads microcode source (a file, or stdin with `-`) and emits one
+//! 48-bit hex word per SCM line, ready to paste into an SCM-window
+//! loader or an RTL memory image:
+//!
+//! ```text
+//! $ echo 'capture 6, 0xFFF
+//!         jump-if geu, 3, 2000
+//!         halt
+//!         action pulse, 0, 0x100' | pelsasm -
+//! 500000000FFF
+//! 660300
+//! F00000000000
+//! 900000000100
+//! ```
+//!
+//! With `-d`, disassembles each line back for review.
+
+use pels_core::{assemble, encode_command};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pelsasm [-d] <file.pels | ->");
+    eprintln!("  -d    also print the disassembly next to each word");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut disasm = false;
+    let mut path: Option<&str> = None;
+    for a in &args {
+        match a.as_str() {
+            "-d" => disasm = true,
+            "-h" | "--help" => return usage(),
+            other => {
+                if path.replace(other).is_some() {
+                    return usage();
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+
+    let source = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("pelsasm: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pelsasm: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let program = match assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pelsasm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for cmd in program.commands() {
+        let raw = encode_command(cmd).expect("validated program encodes");
+        if disasm {
+            println!("{raw:012X}  ; {cmd}");
+        } else {
+            println!("{raw:012X}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,342 @@
+//! The PELS command set (paper Section III-2).
+
+use std::fmt;
+
+/// The 4-bit opcodes of the command encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0x0,
+    /// Write a known value to a peripheral register.
+    Write = 0x1,
+    /// Read-modify-write: OR a mask into a register.
+    Set = 0x2,
+    /// Read-modify-write: clear the mask bits of a register.
+    Clear = 0x3,
+    /// Read-modify-write: XOR a mask into a register.
+    Toggle = 0x4,
+    /// Masked read into the link's datapath register.
+    Capture = 0x5,
+    /// Conditional jump comparing the datapath register to an operand.
+    JumpIf = 0x6,
+    /// Non-nestable hardware loop.
+    Loop = 0x7,
+    /// Stall for a cycle count (watchdog-style waits).
+    Wait = 0x8,
+    /// Instant action: drive outgoing single-wire event lines.
+    Action = 0x9,
+    /// Stop; the link returns to idle.
+    Halt = 0xF,
+}
+
+impl Opcode {
+    /// Decodes a 4-bit opcode value.
+    pub fn from_bits(bits: u8) -> Option<Opcode> {
+        Some(match bits {
+            0x0 => Opcode::Nop,
+            0x1 => Opcode::Write,
+            0x2 => Opcode::Set,
+            0x3 => Opcode::Clear,
+            0x4 => Opcode::Toggle,
+            0x5 => Opcode::Capture,
+            0x6 => Opcode::JumpIf,
+            0x7 => Opcode::Loop,
+            0x8 => Opcode::Wait,
+            0x9 => Opcode::Action,
+            0xF => Opcode::Halt,
+            _ => return None,
+        })
+    }
+}
+
+/// Comparison condition of [`Command::JumpIf`], encoded in field bits
+/// \[11:9\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Datapath register equals the operand.
+    Eq = 0,
+    /// Datapath register differs from the operand.
+    Ne = 1,
+    /// Unsigned less-than.
+    LtU = 2,
+    /// Unsigned greater-or-equal (the threshold compare of Figure 3).
+    GeU = 3,
+    /// Signed less-than.
+    LtS = 4,
+    /// Signed greater-or-equal.
+    GeS = 5,
+}
+
+impl Cond {
+    /// Decodes a 3-bit condition value.
+    pub fn from_bits(bits: u8) -> Option<Cond> {
+        Some(match bits {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::LtU,
+            3 => Cond::GeU,
+            4 => Cond::LtS,
+            5 => Cond::GeS,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the condition for datapath value `dpr` against
+    /// `operand`.
+    pub fn eval(self, dpr: u32, operand: u32) -> bool {
+        match self {
+            Cond::Eq => dpr == operand,
+            Cond::Ne => dpr != operand,
+            Cond::LtU => dpr < operand,
+            Cond::GeU => dpr >= operand,
+            Cond::LtS => (dpr as i32) < (operand as i32),
+            Cond::GeS => (dpr as i32) >= (operand as i32),
+        }
+    }
+}
+
+/// How [`Command::Action`] drives the selected outgoing event lines,
+/// encoded in field bits \[11:10\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ActionMode {
+    /// One-cycle pulse (the classic peripheral event).
+    Pulse = 0,
+    /// Latch the lines high.
+    Set = 1,
+    /// Latch the lines low.
+    Clear = 2,
+    /// Invert the latched lines.
+    Toggle = 3,
+}
+
+impl ActionMode {
+    /// Decodes a 2-bit mode value.
+    pub fn from_bits(bits: u8) -> ActionMode {
+        match bits & 0b11 {
+            0 => ActionMode::Pulse,
+            1 => ActionMode::Set,
+            2 => ActionMode::Clear,
+            _ => ActionMode::Toggle,
+        }
+    }
+}
+
+/// A decoded PELS command.
+///
+/// Register-addressing commands carry a **word offset** relative to the
+/// link's base address (paper Section III-2: "PELS only requires a
+/// word-addressed offset relative to a base address specific to each
+/// link"), 12 bits wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Do nothing for one cycle.
+    Nop,
+    /// Write `value` to the register at `base + 4*offset`.
+    Write {
+        /// Word offset from the link base.
+        offset: u16,
+        /// Value written.
+        value: u32,
+    },
+    /// OR `mask` into the register at `base + 4*offset` (read-modify-write).
+    Set {
+        /// Word offset from the link base.
+        offset: u16,
+        /// Bits to set.
+        mask: u32,
+    },
+    /// Clear the `mask` bits of the register (read-modify-write).
+    Clear {
+        /// Word offset from the link base.
+        offset: u16,
+        /// Bits to clear.
+        mask: u32,
+    },
+    /// XOR `mask` into the register (read-modify-write).
+    Toggle {
+        /// Word offset from the link base.
+        offset: u16,
+        /// Bits to toggle.
+        mask: u32,
+    },
+    /// Masked read of the register into the datapath register.
+    Capture {
+        /// Word offset from the link base.
+        offset: u16,
+        /// AND-mask applied to the read data.
+        mask: u32,
+    },
+    /// If `cond(dpr, operand)`, continue at SCM line `target`.
+    JumpIf {
+        /// Comparison condition.
+        cond: Cond,
+        /// Target SCM line.
+        target: u16,
+        /// Comparison operand.
+        operand: u32,
+    },
+    /// Jump to `target` `count` times (the loop counter arms on first
+    /// encounter; non-nestable — one counter per link).
+    Loop {
+        /// Target SCM line.
+        target: u16,
+        /// Iterations (jumps taken).
+        count: u32,
+    },
+    /// Stall for `cycles` clock cycles.
+    Wait {
+        /// Cycles to wait.
+        cycles: u32,
+    },
+    /// Drive the outgoing event lines of `group` selected by `mask`.
+    Action {
+        /// Drive mode.
+        mode: ActionMode,
+        /// Line group (group `g` covers lines `32*g .. 32*g+31`).
+        group: u8,
+        /// Per-line selection mask within the group.
+        mask: u32,
+    },
+    /// Stop execution; the link returns to idle.
+    Halt,
+}
+
+impl Command {
+    /// The command's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Command::Nop => Opcode::Nop,
+            Command::Write { .. } => Opcode::Write,
+            Command::Set { .. } => Opcode::Set,
+            Command::Clear { .. } => Opcode::Clear,
+            Command::Toggle { .. } => Opcode::Toggle,
+            Command::Capture { .. } => Opcode::Capture,
+            Command::JumpIf { .. } => Opcode::JumpIf,
+            Command::Loop { .. } => Opcode::Loop,
+            Command::Wait { .. } => Opcode::Wait,
+            Command::Action { .. } => Opcode::Action,
+            Command::Halt => Opcode::Halt,
+        }
+    }
+
+    /// Whether the command needs the system interconnect (a *sequenced*
+    /// command in the paper's terms).
+    pub fn is_sequenced(&self) -> bool {
+        matches!(
+            self,
+            Command::Write { .. }
+                | Command::Set { .. }
+                | Command::Clear { .. }
+                | Command::Toggle { .. }
+                | Command::Capture { .. }
+        )
+    }
+
+    /// Whether the command is a read-modify-write (7-cycle) form.
+    pub fn is_rmw(&self) -> bool {
+        matches!(
+            self,
+            Command::Set { .. } | Command::Clear { .. } | Command::Toggle { .. }
+        )
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Nop => f.write_str("nop"),
+            Command::Write { offset, value } => write!(f, "write {offset}, {value:#x}"),
+            Command::Set { offset, mask } => write!(f, "set {offset}, {mask:#x}"),
+            Command::Clear { offset, mask } => write!(f, "clear {offset}, {mask:#x}"),
+            Command::Toggle { offset, mask } => write!(f, "toggle {offset}, {mask:#x}"),
+            Command::Capture { offset, mask } => write!(f, "capture {offset}, {mask:#x}"),
+            Command::JumpIf {
+                cond,
+                target,
+                operand,
+            } => write!(f, "jump-if {cond:?}, {target}, {operand:#x}"),
+            Command::Loop { target, count } => write!(f, "loop {target}, {count}"),
+            Command::Wait { cycles } => write!(f, "wait {cycles}"),
+            Command::Action { mode, group, mask } => {
+                write!(f, "action {mode:?}, {group}, {mask:#x}")
+            }
+            Command::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for bits in 0..16u8 {
+            if let Some(op) = Opcode::from_bits(bits) {
+                assert_eq!(op as u8, bits);
+            }
+        }
+        assert_eq!(Opcode::from_bits(0xA), None);
+        assert_eq!(Opcode::from_bits(0xF), Some(Opcode::Halt));
+    }
+
+    #[test]
+    fn cond_eval_semantics() {
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::LtU.eval(1, 2));
+        assert!(Cond::GeU.eval(2, 2));
+        // Signed vs unsigned disagree on 0xFFFF_FFFF.
+        assert!(Cond::GeU.eval(0xFFFF_FFFF, 1));
+        assert!(Cond::LtS.eval(0xFFFF_FFFF, 1));
+    }
+
+    #[test]
+    fn cond_from_bits_rejects_invalid() {
+        assert_eq!(Cond::from_bits(6), None);
+        assert_eq!(Cond::from_bits(3), Some(Cond::GeU));
+    }
+
+    #[test]
+    fn sequenced_classification() {
+        assert!(Command::Set { offset: 0, mask: 1 }.is_sequenced());
+        assert!(Command::Set { offset: 0, mask: 1 }.is_rmw());
+        assert!(Command::Write { offset: 0, value: 1 }.is_sequenced());
+        assert!(!Command::Write { offset: 0, value: 1 }.is_rmw());
+        assert!(!Command::Action {
+            mode: ActionMode::Pulse,
+            group: 0,
+            mask: 1
+        }
+        .is_sequenced());
+        assert!(!Command::Wait { cycles: 5 }.is_sequenced());
+    }
+
+    #[test]
+    fn display_all_commands() {
+        let cmds = [
+            Command::Nop,
+            Command::Write { offset: 3, value: 0xFF },
+            Command::Capture { offset: 6, mask: 0xFFF },
+            Command::JumpIf {
+                cond: Cond::GeU,
+                target: 3,
+                operand: 2000,
+            },
+            Command::Loop { target: 0, count: 4 },
+            Command::Wait { cycles: 100 },
+            Command::Action {
+                mode: ActionMode::Pulse,
+                group: 0,
+                mask: 1,
+            },
+            Command::Halt,
+        ];
+        for c in cmds {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

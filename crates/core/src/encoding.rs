@@ -1,0 +1,310 @@
+//! The 48-bit command encoding (paper Section III-2).
+//!
+//! Every SCM line holds one command:
+//!
+//! ```text
+//!  47    44 43        32 31                0
+//! ┌────────┬────────────┬──────────────────┐
+//! │ opcode │   field    │     operand      │
+//! │ 4 bits │  12 bits   │     32 bits      │
+//! └────────┴────────────┴──────────────────┘
+//! ```
+//!
+//! The paper motivates the width: a single-cycle read-modify-write needs
+//! an address *and* a mask, which does not fit 32 bits; restricting the
+//! address to a word offset from a per-link base keeps the field at 12
+//! bits (within the paper's 10–14-bit range).
+//!
+//! Field sub-encodings:
+//!
+//! | command    | field\[11:10\] | field\[9:0\]          |
+//! |------------|---------------|------------------------|
+//! | write/set/clear/toggle/capture | word offset (all 12 bits) | |
+//! | jump-if    | cond\[2:0\] in \[11:9\] | target\[8:0\] |
+//! | loop       | —             | target\[8:0\]          |
+//! | action     | mode          | line group             |
+
+use crate::command::{ActionMode, Command, Cond, Opcode};
+use std::error::Error;
+use std::fmt;
+
+/// Maximum word offset expressible in the 12-bit field.
+pub const MAX_OFFSET: u16 = 0xFFF;
+/// Maximum jump/loop target expressible in the 9-bit sub-field.
+pub const MAX_TARGET: u16 = 0x1FF;
+/// Maximum action-line group.
+pub const MAX_GROUP: u8 = 1; // 64 event lines = 2 groups of 32
+
+/// Encoding/decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodingError {
+    /// A word offset exceeds the 12-bit field.
+    OffsetTooLarge {
+        /// The offending offset.
+        offset: u16,
+    },
+    /// A jump/loop target exceeds the 9-bit sub-field.
+    TargetTooLarge {
+        /// The offending target.
+        target: u16,
+    },
+    /// An action group beyond the implemented event lines.
+    GroupTooLarge {
+        /// The offending group.
+        group: u8,
+    },
+    /// A raw word whose opcode nibble is unassigned.
+    BadOpcode {
+        /// The opcode bits.
+        bits: u8,
+    },
+    /// A `jump-if` word with an unassigned condition code.
+    BadCond {
+        /// The condition bits.
+        bits: u8,
+    },
+    /// Raw word uses bits above 47.
+    WidthExceeded {
+        /// The raw word.
+        raw: u64,
+    },
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::OffsetTooLarge { offset } => {
+                write!(f, "word offset {offset} exceeds the 12-bit field")
+            }
+            EncodingError::TargetTooLarge { target } => {
+                write!(f, "jump target {target} exceeds the 9-bit sub-field")
+            }
+            EncodingError::GroupTooLarge { group } => {
+                write!(f, "action group {group} beyond the implemented event lines")
+            }
+            EncodingError::BadOpcode { bits } => write!(f, "unassigned opcode {bits:#x}"),
+            EncodingError::BadCond { bits } => write!(f, "unassigned condition {bits:#x}"),
+            EncodingError::WidthExceeded { raw } => {
+                write!(f, "raw word {raw:#x} wider than 48 bits")
+            }
+        }
+    }
+}
+
+impl Error for EncodingError {}
+
+fn pack(op: Opcode, field: u16, data: u32) -> u64 {
+    debug_assert!(field <= 0xFFF);
+    (u64::from(op as u8) << 44) | (u64::from(field) << 32) | u64::from(data)
+}
+
+fn check_offset(offset: u16) -> Result<u16, EncodingError> {
+    if offset > MAX_OFFSET {
+        Err(EncodingError::OffsetTooLarge { offset })
+    } else {
+        Ok(offset)
+    }
+}
+
+fn check_target(target: u16) -> Result<u16, EncodingError> {
+    if target > MAX_TARGET {
+        Err(EncodingError::TargetTooLarge { target })
+    } else {
+        Ok(target)
+    }
+}
+
+/// Encodes a command into its 48-bit raw word.
+///
+/// # Errors
+///
+/// Returns an [`EncodingError`] when a field exceeds its sub-encoding
+/// range.
+///
+/// ```
+/// use pels_core::{encode_command, decode_command, Command};
+/// let cmd = Command::Set { offset: 0x3, mask: 0x0000_0010 };
+/// let raw = encode_command(&cmd)?;
+/// assert_eq!(decode_command(raw)?, cmd);
+/// # Ok::<(), pels_core::EncodingError>(())
+/// ```
+pub fn encode_command(cmd: &Command) -> Result<u64, EncodingError> {
+    Ok(match *cmd {
+        Command::Nop => pack(Opcode::Nop, 0, 0),
+        Command::Write { offset, value } => pack(Opcode::Write, check_offset(offset)?, value),
+        Command::Set { offset, mask } => pack(Opcode::Set, check_offset(offset)?, mask),
+        Command::Clear { offset, mask } => pack(Opcode::Clear, check_offset(offset)?, mask),
+        Command::Toggle { offset, mask } => pack(Opcode::Toggle, check_offset(offset)?, mask),
+        Command::Capture { offset, mask } => {
+            pack(Opcode::Capture, check_offset(offset)?, mask)
+        }
+        Command::JumpIf {
+            cond,
+            target,
+            operand,
+        } => pack(
+            Opcode::JumpIf,
+            (u16::from(cond as u8) << 9) | check_target(target)?,
+            operand,
+        ),
+        Command::Loop { target, count } => pack(Opcode::Loop, check_target(target)?, count),
+        Command::Wait { cycles } => pack(Opcode::Wait, 0, cycles),
+        Command::Action { mode, group, mask } => {
+            if group > MAX_GROUP {
+                return Err(EncodingError::GroupTooLarge { group });
+            }
+            pack(
+                Opcode::Action,
+                (u16::from(mode as u8) << 10) | u16::from(group),
+                mask,
+            )
+        }
+        Command::Halt => pack(Opcode::Halt, 0, 0),
+    })
+}
+
+/// Decodes a 48-bit raw word back into a command.
+///
+/// # Errors
+///
+/// Returns an [`EncodingError`] for unassigned opcodes/conditions or words
+/// wider than 48 bits.
+pub fn decode_command(raw: u64) -> Result<Command, EncodingError> {
+    if raw >> 48 != 0 {
+        return Err(EncodingError::WidthExceeded { raw });
+    }
+    let op_bits = ((raw >> 44) & 0xF) as u8;
+    let field = ((raw >> 32) & 0xFFF) as u16;
+    let data = raw as u32;
+    let op = Opcode::from_bits(op_bits).ok_or(EncodingError::BadOpcode { bits: op_bits })?;
+    Ok(match op {
+        Opcode::Nop => Command::Nop,
+        Opcode::Write => Command::Write {
+            offset: field,
+            value: data,
+        },
+        Opcode::Set => Command::Set {
+            offset: field,
+            mask: data,
+        },
+        Opcode::Clear => Command::Clear {
+            offset: field,
+            mask: data,
+        },
+        Opcode::Toggle => Command::Toggle {
+            offset: field,
+            mask: data,
+        },
+        Opcode::Capture => Command::Capture {
+            offset: field,
+            mask: data,
+        },
+        Opcode::JumpIf => {
+            let cond_bits = (field >> 9) as u8;
+            let cond = Cond::from_bits(cond_bits)
+                .ok_or(EncodingError::BadCond { bits: cond_bits })?;
+            Command::JumpIf {
+                cond,
+                target: field & 0x1FF,
+                operand: data,
+            }
+        }
+        Opcode::Loop => Command::Loop {
+            target: field & 0x1FF,
+            count: data,
+        },
+        Opcode::Wait => Command::Wait { cycles: data },
+        Opcode::Action => Command::Action {
+            mode: ActionMode::from_bits((field >> 10) as u8),
+            group: (field & 0x3FF) as u8,
+            mask: data,
+        },
+        Opcode::Halt => Command::Halt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(cmd: Command) {
+        let raw = encode_command(&cmd).unwrap();
+        assert!(raw >> 48 == 0, "{cmd} encodes within 48 bits");
+        assert_eq!(decode_command(raw).unwrap(), cmd, "roundtrip of {cmd}");
+    }
+
+    #[test]
+    fn all_commands_roundtrip() {
+        roundtrip(Command::Nop);
+        roundtrip(Command::Write { offset: 0xFFF, value: u32::MAX });
+        roundtrip(Command::Set { offset: 0, mask: 1 });
+        roundtrip(Command::Clear { offset: 7, mask: 0xF0 });
+        roundtrip(Command::Toggle { offset: 42, mask: 0xAAAA });
+        roundtrip(Command::Capture { offset: 6, mask: 0xFFF });
+        for cond in [Cond::Eq, Cond::Ne, Cond::LtU, Cond::GeU, Cond::LtS, Cond::GeS] {
+            roundtrip(Command::JumpIf { cond, target: 0x1FF, operand: 0xDEAD });
+        }
+        roundtrip(Command::Loop { target: 3, count: 1000 });
+        roundtrip(Command::Wait { cycles: u32::MAX });
+        for mode in [
+            ActionMode::Pulse,
+            ActionMode::Set,
+            ActionMode::Clear,
+            ActionMode::Toggle,
+        ] {
+            roundtrip(Command::Action { mode, group: 1, mask: 0x8000_0001 });
+        }
+        roundtrip(Command::Halt);
+    }
+
+    #[test]
+    fn field_layout_matches_paper() {
+        // 4-bit opcode at [47:44], 12-bit field at [43:32], 32-bit data.
+        let raw = encode_command(&Command::Write { offset: 0xABC, value: 0x1234_5678 }).unwrap();
+        assert_eq!(raw >> 44, Opcode::Write as u64);
+        assert_eq!((raw >> 32) & 0xFFF, 0xABC);
+        assert_eq!(raw as u32, 0x1234_5678);
+    }
+
+    #[test]
+    fn out_of_range_fields_rejected() {
+        assert_eq!(
+            encode_command(&Command::Write { offset: 0x1000, value: 0 }),
+            Err(EncodingError::OffsetTooLarge { offset: 0x1000 })
+        );
+        assert_eq!(
+            encode_command(&Command::Loop { target: 0x200, count: 1 }),
+            Err(EncodingError::TargetTooLarge { target: 0x200 })
+        );
+        assert_eq!(
+            encode_command(&Command::Action {
+                mode: ActionMode::Pulse,
+                group: 2,
+                mask: 0
+            }),
+            Err(EncodingError::GroupTooLarge { group: 2 })
+        );
+    }
+
+    #[test]
+    fn bad_raw_words_rejected() {
+        assert!(matches!(
+            decode_command(0xA << 44),
+            Err(EncodingError::BadOpcode { bits: 0xA })
+        ));
+        // jump-if with cond bits 7 (unassigned).
+        let raw = (0x6u64 << 44) | (0x7u64 << (32 + 9));
+        assert!(matches!(decode_command(raw), Err(EncodingError::BadCond { bits: 7 })));
+        assert!(matches!(
+            decode_command(1u64 << 48),
+            Err(EncodingError::WidthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = EncodingError::OffsetTooLarge { offset: 0x1000 };
+        assert!(e.to_string().contains("12-bit"));
+    }
+}

@@ -1,0 +1,451 @@
+//! The PELS top level: N links, event broadcast, action lines, loopback.
+
+use crate::exec::{ActionLines, LinkBus};
+use crate::link::{Link, DEFAULT_FIFO_DEPTH};
+use pels_sim::{ActivitySet, EventVector, SimTime, Trace};
+
+/// Static configuration of a PELS instance — the two knobs the paper
+/// sweeps in Figure 6a (links × SCM lines) plus the FIFO-depth and
+/// loopback wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PelsConfig {
+    /// Number of independent links (paper sweeps 1–8).
+    pub links: usize,
+    /// SCM lines (commands) per link (paper sweeps 4, 6, 8).
+    pub scm_lines: usize,
+    /// Trigger-FIFO depth per link.
+    pub fifo_depth: usize,
+    /// Outgoing action lines fed back into the incoming events
+    /// (inter-link triggering, paper Figure 2 ⑨).
+    pub loopback: EventVector,
+}
+
+impl Default for PelsConfig {
+    /// The paper's minimal configuration: 1 link, 4 SCM lines.
+    fn default() -> Self {
+        PelsConfig {
+            links: 1,
+            scm_lines: 4,
+            fifo_depth: DEFAULT_FIFO_DEPTH,
+            loopback: EventVector::EMPTY,
+        }
+    }
+}
+
+/// Builder for [`Pels`].
+///
+/// ```
+/// use pels_core::PelsBuilder;
+/// use pels_sim::EventVector;
+/// let pels = PelsBuilder::new()
+///     .links(4)
+///     .scm_lines(6)
+///     .loopback(EventVector::mask_of(&[40]))
+///     .build();
+/// assert_eq!(pels.link_count(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PelsBuilder {
+    config: PelsConfig,
+}
+
+impl PelsBuilder {
+    /// Starts from the paper's minimal configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of links.
+    pub fn links(mut self, links: usize) -> Self {
+        self.config.links = links;
+        self
+    }
+
+    /// Sets the SCM lines per link.
+    pub fn scm_lines(mut self, lines: usize) -> Self {
+        self.config.scm_lines = lines;
+        self
+    }
+
+    /// Sets the per-link trigger-FIFO depth.
+    pub fn fifo_depth(mut self, depth: usize) -> Self {
+        self.config.fifo_depth = depth;
+        self
+    }
+
+    /// Selects which action lines loop back into the event inputs.
+    pub fn loopback(mut self, mask: EventVector) -> Self {
+        self.config.loopback = mask;
+        self
+    }
+
+    /// Builds the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is 0 or greater than 64, or `scm_lines` is out
+    /// of the SCM's 1..=512 range.
+    pub fn build(self) -> Pels {
+        Pels::new(self.config)
+    }
+}
+
+/// The bus-master side PELS needs from its integration: one port per
+/// link. The SoC implements this over its fabric's master ports.
+pub trait PelsBus {
+    /// Whether link `link` can issue this cycle.
+    fn can_issue(&self, link: usize) -> bool;
+    /// Issues a read for link `link`.
+    fn issue_read(&mut self, link: usize, addr: u32) -> bool;
+    /// Issues a write for link `link`.
+    fn issue_write(&mut self, link: usize, addr: u32, value: u32) -> bool;
+    /// Takes link `link`'s completed response.
+    fn take_response(&mut self, link: usize) -> Option<Result<u32, ()>>;
+}
+
+/// A no-bus implementation for instant-action-only deployments and unit
+/// tests: every sequenced transaction errors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBus;
+
+impl PelsBus for NoBus {
+    fn can_issue(&self, _link: usize) -> bool {
+        true
+    }
+    fn issue_read(&mut self, _link: usize, _addr: u32) -> bool {
+        true
+    }
+    fn issue_write(&mut self, _link: usize, _addr: u32, _value: u32) -> bool {
+        true
+    }
+    fn take_response(&mut self, _link: usize) -> Option<Result<u32, ()>> {
+        Some(Err(()))
+    }
+}
+
+struct LinkPort<'a> {
+    bus: &'a mut dyn PelsBus,
+    link: usize,
+}
+
+impl LinkBus for LinkPort<'_> {
+    fn can_issue(&self) -> bool {
+        self.bus.can_issue(self.link)
+    }
+    fn issue_read(&mut self, addr: u32) -> bool {
+        self.bus.issue_read(self.link, addr)
+    }
+    fn issue_write(&mut self, addr: u32, value: u32) -> bool {
+        self.bus.issue_write(self.link, addr, value)
+    }
+    fn take_response(&mut self) -> Option<Result<u32, ()>> {
+        self.bus.take_response(self.link)
+    }
+}
+
+/// The Peripheral Event Linking System.
+///
+/// Tick once per clock cycle with the sampled external events; the return
+/// value is the outgoing action-line image for the cycle (instant-action
+/// pulses plus latched levels). Within a tick the execution units run
+/// *before* the trigger units sample, so a trigger fires the cycle after
+/// its event — the first command executes one further cycle later, giving
+/// the paper's 2-cycle instant action.
+pub struct Pels {
+    config: PelsConfig,
+    links: Vec<Link>,
+    actions: ActionLines,
+    prev_actions: EventVector,
+    enabled: bool,
+    cycle: u64,
+}
+
+impl std::fmt::Debug for Pels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pels")
+            .field("links", &self.links.len())
+            .field("scm_lines", &self.config.scm_lines)
+            .field("enabled", &self.enabled)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl Pels {
+    /// Creates a PELS instance from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is 0 or greater than 64.
+    pub fn new(config: PelsConfig) -> Self {
+        assert!(
+            (1..=64).contains(&config.links),
+            "pels needs 1..=64 links, got {}",
+            config.links
+        );
+        let links = (0..config.links)
+            .map(|i| Link::with_fifo_depth(i, config.scm_lines, config.fifo_depth))
+            .collect();
+        Pels {
+            config,
+            links,
+            actions: ActionLines::new(),
+            prev_actions: EventVector::EMPTY,
+            enabled: true,
+            cycle: 0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> PelsConfig {
+        self.config
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Access to link `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn link(&self, i: usize) -> &Link {
+        &self.links[i]
+    }
+
+    /// Mutable access to link `i` (programming/configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn link_mut(&mut self, i: usize) -> &mut Link {
+        &mut self.links[i]
+    }
+
+    /// Globally enables/disables event processing.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether globally enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether any link is busy.
+    pub fn is_busy(&self) -> bool {
+        self.links.iter().any(Link::is_busy)
+    }
+
+    /// The action lines as of the *previous* cycle (what peripherals see
+    /// through their registered inputs).
+    pub fn action_lines(&self) -> EventVector {
+        self.prev_actions
+    }
+
+    /// Elapsed ticks.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances one clock cycle.
+    ///
+    /// * `external_events` — event pulses from the peripherals this
+    ///   cycle;
+    /// * `bus` — the per-link master ports;
+    /// * returns the outgoing action-line image for this cycle.
+    pub fn tick(
+        &mut self,
+        external_events: EventVector,
+        time: SimTime,
+        bus: &mut dyn PelsBus,
+        trace: &mut Trace,
+    ) -> EventVector {
+        let cycle = self.cycle;
+        self.cycle += 1;
+        if !self.enabled {
+            self.prev_actions = EventVector::EMPTY;
+            return EventVector::EMPTY;
+        }
+
+        // 1. Execution units run on previously buffered triggers.
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let mut port = LinkPort { bus, link: i };
+            link.step_exec(cycle, time, &mut port, &mut self.actions, trace);
+        }
+
+        // 2. Trigger units sample this cycle's events (external pulses +
+        //    looped-back action lines from the previous cycle).
+        let events =
+            external_events | (self.prev_actions & self.config.loopback);
+        for link in &mut self.links {
+            link.sample_events(events, cycle);
+        }
+
+        // 3. Latch the output image.
+        let visible = self.actions.current();
+        self.prev_actions = visible;
+        self.actions.end_cycle();
+        visible
+    }
+
+    /// Drains the per-link activity counters.
+    pub fn drain_activity(&mut self, into: &mut ActivitySet) {
+        for link in &mut self.links {
+            link.drain_activity(into);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{ActionMode, Command};
+    use crate::program::Program;
+    use crate::trigger::TriggerCond;
+
+    fn pulse_program(line: u32) -> Program {
+        Program::new(vec![
+            Command::Action {
+                mode: ActionMode::Pulse,
+                group: (line / 32) as u8,
+                mask: 1 << (line % 32),
+            },
+            Command::Halt,
+        ])
+        .unwrap()
+    }
+
+    fn tick_n(
+        pels: &mut Pels,
+        events: &[EventVector],
+    ) -> Vec<EventVector> {
+        let mut trace = Trace::new();
+        let mut bus = NoBus;
+        events
+            .iter()
+            .enumerate()
+            .map(|(i, &ev)| {
+                pels.tick(ev, SimTime::from_ps(i as u64 * 1000), &mut bus, &mut trace)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn instant_action_two_cycle_latency() {
+        let mut pels = PelsBuilder::new().links(1).scm_lines(4).build();
+        pels.link_mut(0)
+            .set_mask(EventVector::mask_of(&[3]));
+        pels.link_mut(0).load_program(&pulse_program(8)).unwrap();
+        let outs = tick_n(
+            &mut pels,
+            &[
+                EventVector::mask_of(&[3]), // event at cycle 0
+                EventVector::EMPTY,
+                EventVector::EMPTY,
+                EventVector::EMPTY,
+            ],
+        );
+        assert!(outs[0].is_empty());
+        assert!(outs[1].is_empty());
+        assert!(outs[2].is_set(8), "pulse exactly 2 cycles after the event");
+        assert!(outs[3].is_empty(), "pulse lasts one cycle");
+    }
+
+    #[test]
+    fn links_operate_in_parallel() {
+        let mut pels = PelsBuilder::new().links(2).scm_lines(4).build();
+        pels.link_mut(0).set_mask(EventVector::mask_of(&[0]));
+        pels.link_mut(0).load_program(&pulse_program(10)).unwrap();
+        pels.link_mut(1).set_mask(EventVector::mask_of(&[1]));
+        pels.link_mut(1).load_program(&pulse_program(11)).unwrap();
+        let outs = tick_n(
+            &mut pels,
+            &[
+                EventVector::mask_of(&[0, 1]),
+                EventVector::EMPTY,
+                EventVector::EMPTY,
+            ],
+        );
+        assert!(outs[2].is_set(10) && outs[2].is_set(11));
+    }
+
+    #[test]
+    fn loopback_triggers_second_link() {
+        // Link 0 pulses line 40; line 40 loops back and triggers link 1,
+        // which pulses line 41 — inter-link triggering (Figure 2 ⑨).
+        let mut pels = PelsBuilder::new()
+            .links(2)
+            .scm_lines(4)
+            .loopback(EventVector::mask_of(&[40]))
+            .build();
+        pels.link_mut(0).set_mask(EventVector::mask_of(&[0]));
+        pels.link_mut(0).load_program(&pulse_program(40)).unwrap();
+        pels.link_mut(1).set_mask(EventVector::mask_of(&[40]));
+        pels.link_mut(1).load_program(&pulse_program(41)).unwrap();
+        let mut events = vec![EventVector::mask_of(&[0])];
+        events.extend([EventVector::EMPTY; 7]);
+        let outs = tick_n(&mut pels, &events);
+        assert!(outs[2].is_set(40), "link0 fires at cycle 2");
+        // Link 1 sees line 40 at cycle 3 (registered loopback), fires at
+        // cycle 5: another 2-cycle instant action.
+        assert!(outs[5].is_set(41), "link1 chained via loopback");
+    }
+
+    #[test]
+    fn disabled_pels_produces_nothing() {
+        let mut pels = PelsBuilder::new().build();
+        pels.link_mut(0).set_mask(EventVector::mask_of(&[0]));
+        pels.link_mut(0).load_program(&pulse_program(5)).unwrap();
+        pels.set_enabled(false);
+        let outs = tick_n(
+            &mut pels,
+            &[EventVector::mask_of(&[0]), EventVector::EMPTY, EventVector::EMPTY],
+        );
+        assert!(outs.iter().all(|o| o.is_empty()));
+    }
+
+    #[test]
+    fn trigger_condition_all_gates_firing() {
+        let mut pels = PelsBuilder::new().build();
+        pels.link_mut(0)
+            .set_mask(EventVector::mask_of(&[0, 1]))
+            .set_condition(TriggerCond::All);
+        pels.link_mut(0).load_program(&pulse_program(5)).unwrap();
+        let outs = tick_n(
+            &mut pels,
+            &[
+                EventVector::mask_of(&[0]), // only one line: no trigger
+                EventVector::EMPTY,
+                EventVector::EMPTY,
+                EventVector::mask_of(&[0, 1]), // both: trigger
+                EventVector::EMPTY,
+                EventVector::EMPTY,
+            ],
+        );
+        assert!(outs[..5].iter().all(|o| !o.is_set(5)));
+        assert!(outs[5].is_set(5));
+    }
+
+    #[test]
+    fn builder_validates_links() {
+        let result = std::panic::catch_unwind(|| PelsBuilder::new().links(0).build());
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn activity_drains_per_link() {
+        let mut pels = PelsBuilder::new().links(2).build();
+        pels.link_mut(0).set_mask(EventVector::mask_of(&[0]));
+        pels.link_mut(0).load_program(&pulse_program(5)).unwrap();
+        let mut events = vec![EventVector::mask_of(&[0])];
+        events.extend([EventVector::EMPTY; 5]);
+        tick_n(&mut pels, &events);
+        let mut a = ActivitySet::new();
+        pels.drain_activity(&mut a);
+        assert!(a.count("pels.link0", pels_sim::ActivityKind::InstrRetired) >= 2);
+        assert_eq!(a.count("pels.link1", pels_sim::ActivityKind::InstrRetired), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Validated microcode programs.
+
+use crate::command::Command;
+use crate::encoding::{encode_command, EncodingError};
+use std::error::Error;
+use std::fmt;
+
+/// A validated sequence of [`Command`]s ready to load into a link's SCM.
+///
+/// Validation checks that every command encodes into the 48-bit format and
+/// that every jump/loop target lands inside the program — the invariants a
+/// hardware loader would enforce.
+///
+/// ```
+/// use pels_core::{Command, Program};
+/// let p = Program::new(vec![
+///     Command::Wait { cycles: 10 },
+///     Command::Halt,
+/// ])?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), pels_core::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    commands: Vec<Command>,
+}
+
+/// Program validation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgramError {
+    /// A program must contain at least one command.
+    Empty,
+    /// A jump/loop target points outside the program.
+    TargetOutOfRange {
+        /// Index of the offending command.
+        at: usize,
+        /// The out-of-range target.
+        target: u16,
+        /// Program length.
+        len: usize,
+    },
+    /// A command does not encode (field out of range).
+    Encoding {
+        /// Index of the offending command.
+        at: usize,
+        /// The underlying encoding error.
+        source: EncodingError,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => f.write_str("program is empty"),
+            ProgramError::TargetOutOfRange { at, target, len } => write!(
+                f,
+                "command {at} targets line {target} outside the {len}-line program"
+            ),
+            ProgramError::Encoding { at, source } => {
+                write!(f, "command {at} does not encode: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProgramError::Encoding { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl Program {
+    /// Validates and wraps a command sequence.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProgramError`].
+    pub fn new(commands: Vec<Command>) -> Result<Self, ProgramError> {
+        if commands.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        for (at, cmd) in commands.iter().enumerate() {
+            if let Err(source) = encode_command(cmd) {
+                return Err(ProgramError::Encoding { at, source });
+            }
+            let target = match *cmd {
+                Command::JumpIf { target, .. } | Command::Loop { target, .. } => Some(target),
+                _ => None,
+            };
+            if let Some(target) = target {
+                if usize::from(target) >= commands.len() {
+                    return Err(ProgramError::TargetOutOfRange {
+                        at,
+                        target,
+                        len: commands.len(),
+                    });
+                }
+            }
+        }
+        Ok(Program { commands })
+    }
+
+    /// The commands in order.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Number of commands (SCM lines needed).
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the program is empty (never true for a constructed
+    /// `Program`; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Encoded 48-bit words, one per line.
+    pub fn encode(&self) -> Vec<u64> {
+        self.commands
+            .iter()
+            .map(|c| encode_command(c).expect("validated at construction"))
+            .collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.commands.iter().enumerate() {
+            writeln!(f, "{i:>3}: {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{ActionMode, Cond};
+
+    #[test]
+    fn valid_program_constructs() {
+        let p = Program::new(vec![
+            Command::Capture { offset: 1, mask: 0xFF },
+            Command::JumpIf {
+                cond: Cond::GeU,
+                target: 0,
+                operand: 10,
+            },
+            Command::Halt,
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.encode().len(), 3);
+        assert!(p.to_string().contains("capture"));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(Program::new(vec![]), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn dangling_jump_rejected() {
+        let e = Program::new(vec![
+            Command::JumpIf {
+                cond: Cond::Eq,
+                target: 5,
+                operand: 0,
+            },
+            Command::Halt,
+        ])
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            ProgramError::TargetOutOfRange { at: 0, target: 5, len: 2 }
+        ));
+    }
+
+    #[test]
+    fn dangling_loop_rejected() {
+        let e = Program::new(vec![Command::Loop { target: 1, count: 2 }]).unwrap_err();
+        assert!(matches!(e, ProgramError::TargetOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unencodable_command_rejected() {
+        let e = Program::new(vec![Command::Action {
+            mode: ActionMode::Pulse,
+            group: 9,
+            mask: 0,
+        }])
+        .unwrap_err();
+        assert!(matches!(e, ProgramError::Encoding { at: 0, .. }));
+        assert!(e.to_string().contains("does not encode"));
+    }
+}

@@ -1,0 +1,430 @@
+//! RV32IM instruction encoders.
+//!
+//! The baseline interrupt handlers of the paper's evaluation are written
+//! directly with these encoders (there is no external toolchain in this
+//! reproduction). Each function returns the 32-bit instruction word;
+//! programs are slices of words loaded into L2.
+//!
+//! # Panics
+//!
+//! All encoders validate register indices (`< 32`) and immediate ranges
+//! and panic on violations — an out-of-range operand is a bug in the
+//! embedded program, not a runtime condition.
+
+#![allow(clippy::too_many_arguments)]
+
+fn check_reg(r: u8) {
+    assert!(r < 32, "register x{r} out of range");
+}
+
+fn check_imm12(imm: i32) {
+    assert!(
+        (-2048..=2047).contains(&imm),
+        "immediate {imm} exceeds 12 bits"
+    );
+}
+
+fn r_type(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    check_reg(rd);
+    check_reg(rs1);
+    check_reg(rs2);
+    (funct7 << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (funct3 << 12)
+        | (u32::from(rd) << 7)
+        | opcode
+}
+
+fn i_type(imm: i32, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    check_reg(rd);
+    check_reg(rs1);
+    check_imm12(imm);
+    ((imm as u32) << 20)
+        | (u32::from(rs1) << 15)
+        | (funct3 << 12)
+        | (u32::from(rd) << 7)
+        | opcode
+}
+
+fn s_type(imm: i32, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    check_reg(rs1);
+    check_reg(rs2);
+    check_imm12(imm);
+    let imm = imm as u32;
+    ((imm >> 5) << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | 0x23
+}
+
+fn b_type(offset: i32, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    check_reg(rs1);
+    check_reg(rs2);
+    assert!(
+        (-4096..=4094).contains(&offset) && offset % 2 == 0,
+        "branch offset {offset} invalid"
+    );
+    let imm = offset as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0x63
+}
+
+/// `lui rd, imm[31:12]` — `imm` is the final 32-bit value (low 12 bits
+/// must be zero).
+///
+/// # Panics
+///
+/// Panics if the low 12 bits of `imm` are non-zero.
+pub fn lui(rd: u8, imm: u32) -> u32 {
+    check_reg(rd);
+    assert!(imm & 0xFFF == 0, "lui immediate must be 4 KiB aligned");
+    imm | (u32::from(rd) << 7) | 0x37
+}
+
+/// `auipc rd, imm[31:12]`.
+///
+/// # Panics
+///
+/// Panics if the low 12 bits of `imm` are non-zero.
+pub fn auipc(rd: u8, imm: u32) -> u32 {
+    check_reg(rd);
+    assert!(imm & 0xFFF == 0, "auipc immediate must be 4 KiB aligned");
+    imm | (u32::from(rd) << 7) | 0x17
+}
+
+/// `jal rd, offset` (PC-relative, even, ±1 MiB).
+///
+/// # Panics
+///
+/// Panics on out-of-range or odd offsets.
+pub fn jal(rd: u8, offset: i32) -> u32 {
+    check_reg(rd);
+    assert!(
+        (-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0,
+        "jal offset {offset} invalid"
+    );
+    let imm = offset as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (u32::from(rd) << 7)
+        | 0x6F
+}
+
+/// `jalr rd, offset(rs1)`.
+pub fn jalr(rd: u8, rs1: u8, offset: i32) -> u32 {
+    i_type(offset, rs1, 0b000, rd, 0x67)
+}
+
+/// `beq rs1, rs2, offset`.
+pub fn beq(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b000)
+}
+/// `bne rs1, rs2, offset`.
+pub fn bne(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b001)
+}
+/// `blt rs1, rs2, offset`.
+pub fn blt(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b100)
+}
+/// `bge rs1, rs2, offset`.
+pub fn bge(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b101)
+}
+/// `bltu rs1, rs2, offset`.
+pub fn bltu(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b110)
+}
+/// `bgeu rs1, rs2, offset`.
+pub fn bgeu(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    b_type(offset, rs2, rs1, 0b111)
+}
+
+/// `lb rd, offset(rs1)`.
+pub fn lb(rd: u8, rs1: u8, offset: i32) -> u32 {
+    i_type(offset, rs1, 0b000, rd, 0x03)
+}
+/// `lh rd, offset(rs1)`.
+pub fn lh(rd: u8, rs1: u8, offset: i32) -> u32 {
+    i_type(offset, rs1, 0b001, rd, 0x03)
+}
+/// `lw rd, offset(rs1)`.
+pub fn lw(rd: u8, rs1: u8, offset: i32) -> u32 {
+    i_type(offset, rs1, 0b010, rd, 0x03)
+}
+/// `lbu rd, offset(rs1)`.
+pub fn lbu(rd: u8, rs1: u8, offset: i32) -> u32 {
+    i_type(offset, rs1, 0b100, rd, 0x03)
+}
+/// `lhu rd, offset(rs1)`.
+pub fn lhu(rd: u8, rs1: u8, offset: i32) -> u32 {
+    i_type(offset, rs1, 0b101, rd, 0x03)
+}
+
+/// `sb rs2, offset(rs1)`.
+pub fn sb(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    s_type(offset, rs2, rs1, 0b000)
+}
+/// `sh rs2, offset(rs1)`.
+pub fn sh(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    s_type(offset, rs2, rs1, 0b001)
+}
+/// `sw rs2, offset(rs1)`.
+pub fn sw(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    s_type(offset, rs2, rs1, 0b010)
+}
+
+/// `addi rd, rs1, imm`.
+pub fn addi(rd: u8, rs1: u8, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b000, rd, 0x13)
+}
+/// `slti rd, rs1, imm`.
+pub fn slti(rd: u8, rs1: u8, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b010, rd, 0x13)
+}
+/// `sltiu rd, rs1, imm`.
+pub fn sltiu(rd: u8, rs1: u8, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b011, rd, 0x13)
+}
+/// `xori rd, rs1, imm`.
+pub fn xori(rd: u8, rs1: u8, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b100, rd, 0x13)
+}
+/// `ori rd, rs1, imm`.
+pub fn ori(rd: u8, rs1: u8, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b110, rd, 0x13)
+}
+/// `andi rd, rs1, imm`.
+pub fn andi(rd: u8, rs1: u8, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b111, rd, 0x13)
+}
+
+fn shift_imm(funct7: u32, shamt: u8, rs1: u8, funct3: u32, rd: u8) -> u32 {
+    assert!(shamt < 32, "shift amount {shamt} out of range");
+    r_type(funct7, shamt, rs1, funct3, rd, 0x13)
+}
+
+/// `slli rd, rs1, shamt`.
+pub fn slli(rd: u8, rs1: u8, shamt: u8) -> u32 {
+    shift_imm(0, shamt, rs1, 0b001, rd)
+}
+/// `srli rd, rs1, shamt`.
+pub fn srli(rd: u8, rs1: u8, shamt: u8) -> u32 {
+    shift_imm(0, shamt, rs1, 0b101, rd)
+}
+/// `srai rd, rs1, shamt`.
+pub fn srai(rd: u8, rs1: u8, shamt: u8) -> u32 {
+    shift_imm(0b0100000, shamt, rs1, 0b101, rd)
+}
+
+/// `add rd, rs1, rs2`.
+pub fn add(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0, rs2, rs1, 0b000, rd, 0x33)
+}
+/// `sub rd, rs1, rs2`.
+pub fn sub(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0b0100000, rs2, rs1, 0b000, rd, 0x33)
+}
+/// `sll rd, rs1, rs2`.
+pub fn sll(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0, rs2, rs1, 0b001, rd, 0x33)
+}
+/// `slt rd, rs1, rs2`.
+pub fn slt(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0, rs2, rs1, 0b010, rd, 0x33)
+}
+/// `sltu rd, rs1, rs2`.
+pub fn sltu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0, rs2, rs1, 0b011, rd, 0x33)
+}
+/// `xor rd, rs1, rs2`.
+pub fn xor(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0, rs2, rs1, 0b100, rd, 0x33)
+}
+/// `srl rd, rs1, rs2`.
+pub fn srl(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0, rs2, rs1, 0b101, rd, 0x33)
+}
+/// `sra rd, rs1, rs2`.
+pub fn sra(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0b0100000, rs2, rs1, 0b101, rd, 0x33)
+}
+/// `or rd, rs1, rs2`.
+pub fn or(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0, rs2, rs1, 0b110, rd, 0x33)
+}
+/// `and rd, rs1, rs2`.
+pub fn and(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(0, rs2, rs1, 0b111, rd, 0x33)
+}
+
+/// `mul rd, rs1, rs2`.
+pub fn mul(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(1, rs2, rs1, 0b000, rd, 0x33)
+}
+/// `mulh rd, rs1, rs2`.
+pub fn mulh(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(1, rs2, rs1, 0b001, rd, 0x33)
+}
+/// `mulhsu rd, rs1, rs2`.
+pub fn mulhsu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(1, rs2, rs1, 0b010, rd, 0x33)
+}
+/// `mulhu rd, rs1, rs2`.
+pub fn mulhu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(1, rs2, rs1, 0b011, rd, 0x33)
+}
+/// `div rd, rs1, rs2`.
+pub fn div(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(1, rs2, rs1, 0b100, rd, 0x33)
+}
+/// `divu rd, rs1, rs2`.
+pub fn divu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(1, rs2, rs1, 0b101, rd, 0x33)
+}
+/// `rem rd, rs1, rs2`.
+pub fn rem(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(1, rs2, rs1, 0b110, rd, 0x33)
+}
+/// `remu rd, rs1, rs2`.
+pub fn remu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    r_type(1, rs2, rs1, 0b111, rd, 0x33)
+}
+
+fn csr_type(csr: u16, field: u8, funct3: u32, rd: u8) -> u32 {
+    check_reg(rd);
+    assert!(field < 32, "csr source field {field} out of range");
+    assert!(csr < 0x1000, "csr address {csr:#x} out of range");
+    (u32::from(csr) << 20) | (u32::from(field) << 15) | (funct3 << 12) | (u32::from(rd) << 7) | 0x73
+}
+
+/// `csrrw rd, csr, rs1`.
+pub fn csrrw(rd: u8, csr: u16, rs1: u8) -> u32 {
+    csr_type(csr, rs1, 0b001, rd)
+}
+/// `csrrs rd, csr, rs1`.
+pub fn csrrs(rd: u8, csr: u16, rs1: u8) -> u32 {
+    csr_type(csr, rs1, 0b010, rd)
+}
+/// `csrrc rd, csr, rs1`.
+pub fn csrrc(rd: u8, csr: u16, rs1: u8) -> u32 {
+    csr_type(csr, rs1, 0b011, rd)
+}
+/// `csrrwi rd, csr, imm5`.
+pub fn csrrwi(rd: u8, csr: u16, imm5: u8) -> u32 {
+    csr_type(csr, imm5, 0b101, rd)
+}
+/// `csrrsi rd, csr, imm5`.
+pub fn csrrsi(rd: u8, csr: u16, imm5: u8) -> u32 {
+    csr_type(csr, imm5, 0b110, rd)
+}
+/// `csrrci rd, csr, imm5`.
+pub fn csrrci(rd: u8, csr: u16, imm5: u8) -> u32 {
+    csr_type(csr, imm5, 0b111, rd)
+}
+
+/// `fence`.
+pub fn fence() -> u32 {
+    0x0000_000F
+}
+/// `ecall`.
+pub fn ecall() -> u32 {
+    0x0000_0073
+}
+/// `ebreak`.
+pub fn ebreak() -> u32 {
+    0x0010_0073
+}
+/// `mret`.
+pub fn mret() -> u32 {
+    0x3020_0073
+}
+/// `wfi`.
+pub fn wfi() -> u32 {
+    0x1050_0073
+}
+
+/// `nop` (`addi x0, x0, 0`).
+pub fn nop() -> u32 {
+    addi(0, 0, 0)
+}
+
+/// Materializes an arbitrary 32-bit constant into `rd` as a
+/// `lui`+`addi` pair (always two instructions, for predictable timing).
+pub fn li32(rd: u8, value: u32) -> [u32; 2] {
+    let low = (value & 0xFFF) as i32;
+    let low = if low >= 0x800 { low - 0x1000 } else { low };
+    let high = value.wrapping_sub(low as u32) & 0xFFFF_F000;
+    [lui(rd, high), addi(rd, rd, low)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::instr::Instr;
+
+    #[test]
+    fn li32_materializes_any_constant() {
+        for v in [0u32, 1, 0xFFF, 0x800, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0000] {
+            let [a, b] = li32(5, v);
+            let (Instr::Lui { imm, .. }, Instr::AluImm { imm: low, .. }) =
+                (decode(a, 0).unwrap(), decode(b, 0).unwrap())
+            else {
+                panic!("unexpected decode");
+            };
+            assert_eq!(imm.wrapping_add(low as u32), v, "value {v:#x}");
+        }
+    }
+
+    #[test]
+    fn nop_is_canonical() {
+        assert_eq!(nop(), 0x0000_0013);
+    }
+
+    #[test]
+    fn known_golden_encodings() {
+        // Cross-checked against the RISC-V spec examples / GNU as.
+        assert_eq!(addi(1, 2, 3), 0x0031_0093);
+        assert_eq!(lw(5, 6, 8), 0x0083_2283);
+        assert_eq!(sw(6, 5, 12), 0x0053_2623);
+        assert_eq!(add(3, 1, 2), 0x0020_81B3);
+        assert_eq!(jal(0, 8), 0x0080_006F);
+        assert_eq!(beq(1, 2, 8), 0x0020_8463);
+    }
+
+    #[test]
+    #[should_panic(expected = "12 bits")]
+    fn addi_rejects_large_immediate() {
+        let _ = addi(1, 2, 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_index_validated() {
+        let _ = add(32, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn lui_rejects_low_bits() {
+        let _ = lui(1, 0x123);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn branch_offset_must_be_even() {
+        let _ = beq(1, 2, 3);
+    }
+}

@@ -1,0 +1,444 @@
+//! RV32C — the compressed instruction extension.
+//!
+//! Ibex is an RV32IMC core; real baseline firmware is compiled with the
+//! C extension, which matters for the paper's memory-activity argument
+//! (compressed code halves fetch traffic per instruction for much of the
+//! instruction mix). Each 16-bit encoding expands to its 32-bit
+//! equivalent [`Instr`], the standard implementation technique (and
+//! Ibex's actual decompressor structure).
+
+use crate::decode::DecodeError;
+use crate::instr::{AluOp, BranchOp, Instr, LoadOp, StoreOp};
+
+#[inline]
+fn creg(bits: u16) -> u8 {
+    // Compressed register fields address x8..x15.
+    (bits & 0x7) as u8 + 8
+}
+
+/// Sign-extends the low `bits` bits of `v`.
+#[inline]
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Whether a 16-bit parcel is a compressed instruction (the two low bits
+/// of a 32-bit encoding are always `11`).
+pub fn is_compressed(halfword: u16) -> bool {
+    halfword & 0b11 != 0b11
+}
+
+/// Decodes one 16-bit compressed instruction into its expanded 32-bit
+/// form.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for reserved or unsupported (floating-point)
+/// encodings.
+pub fn decode_compressed(halfword: u16, pc: u32) -> Result<Instr, DecodeError> {
+    let illegal = || DecodeError {
+        word: u32::from(halfword),
+        pc,
+    };
+    let op = halfword & 0b11;
+    let funct3 = (halfword >> 13) & 0b111;
+    let w = u32::from(halfword);
+
+    match (op, funct3) {
+        // ---- Quadrant 0 ----
+        (0b00, 0b000) => {
+            // C.ADDI4SPN: addi rd', x2, nzuimm
+            let imm = ((w >> 7) & 0x30) // imm[5:4]
+                | ((w >> 1) & 0x3C0)    // imm[9:6]
+                | ((w >> 4) & 0x4)      // imm[2]
+                | ((w >> 2) & 0x8); // imm[3]
+            if imm == 0 {
+                return Err(illegal()); // includes the all-zero illegal encoding
+            }
+            Ok(Instr::AluImm {
+                op: AluOp::Add,
+                rd: creg(halfword >> 2),
+                rs1: 2,
+                imm: imm as i32,
+            })
+        }
+        (0b00, 0b010) => {
+            // C.LW: lw rd', offset(rs1')
+            let imm = ((w >> 7) & 0x38) | ((w << 1) & 0x40) | ((w >> 4) & 0x4);
+            Ok(Instr::Load {
+                op: LoadOp::Word,
+                rd: creg(halfword >> 2),
+                rs1: creg(halfword >> 7),
+                offset: imm as i32,
+            })
+        }
+        (0b00, 0b110) => {
+            // C.SW: sw rs2', offset(rs1')
+            let imm = ((w >> 7) & 0x38) | ((w << 1) & 0x40) | ((w >> 4) & 0x4);
+            Ok(Instr::Store {
+                op: StoreOp::Word,
+                rs1: creg(halfword >> 7),
+                rs2: creg(halfword >> 2),
+                offset: imm as i32,
+            })
+        }
+
+        // ---- Quadrant 1 ----
+        (0b01, 0b000) => {
+            // C.ADDI (C.NOP when rd=0): addi rd, rd, imm
+            let rd = ((halfword >> 7) & 0x1F) as u8;
+            let imm = sext(((w >> 7) & 0x20) | ((w >> 2) & 0x1F), 6);
+            Ok(Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1: rd,
+                imm,
+            })
+        }
+        (0b01, 0b001) => {
+            // C.JAL: jal x1, offset
+            Ok(Instr::Jal {
+                rd: 1,
+                offset: cj_offset(w),
+            })
+        }
+        (0b01, 0b010) => {
+            // C.LI: addi rd, x0, imm
+            let rd = ((halfword >> 7) & 0x1F) as u8;
+            let imm = sext(((w >> 7) & 0x20) | ((w >> 2) & 0x1F), 6);
+            Ok(Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1: 0,
+                imm,
+            })
+        }
+        (0b01, 0b011) => {
+            let rd = ((halfword >> 7) & 0x1F) as u8;
+            if rd == 2 {
+                // C.ADDI16SP: addi x2, x2, nzimm
+                let imm = sext(
+                    ((w >> 3) & 0x200)
+                        | ((w >> 2) & 0x10)
+                        | ((w << 1) & 0x40)
+                        | ((w << 4) & 0x180)
+                        | ((w << 3) & 0x20),
+                    10,
+                );
+                if imm == 0 {
+                    return Err(illegal());
+                }
+                Ok(Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: 2,
+                    rs1: 2,
+                    imm,
+                })
+            } else {
+                // C.LUI: lui rd, nzimm
+                let imm = sext(((w << 5) & 0x20000) | ((w << 10) & 0x1F000), 18) as u32;
+                if imm == 0 {
+                    return Err(illegal());
+                }
+                Ok(Instr::Lui {
+                    rd,
+                    imm: imm & 0xFFFF_F000,
+                })
+            }
+        }
+        (0b01, 0b100) => {
+            let rd = creg(halfword >> 7);
+            match (halfword >> 10) & 0b11 {
+                0b00 => {
+                    // C.SRLI
+                    let shamt = ((w >> 7) & 0x20) | ((w >> 2) & 0x1F);
+                    Ok(Instr::AluImm {
+                        op: AluOp::Srl,
+                        rd,
+                        rs1: rd,
+                        imm: shamt as i32,
+                    })
+                }
+                0b01 => {
+                    // C.SRAI
+                    let shamt = ((w >> 7) & 0x20) | ((w >> 2) & 0x1F);
+                    Ok(Instr::AluImm {
+                        op: AluOp::Sra,
+                        rd,
+                        rs1: rd,
+                        imm: shamt as i32,
+                    })
+                }
+                0b10 => {
+                    // C.ANDI
+                    let imm = sext(((w >> 7) & 0x20) | ((w >> 2) & 0x1F), 6);
+                    Ok(Instr::AluImm {
+                        op: AluOp::And,
+                        rd,
+                        rs1: rd,
+                        imm,
+                    })
+                }
+                _ => {
+                    // Register-register group.
+                    if halfword & (1 << 12) != 0 {
+                        return Err(illegal()); // C.SUBW/C.ADDW are RV64
+                    }
+                    let rs2 = creg(halfword >> 2);
+                    let op = match (halfword >> 5) & 0b11 {
+                        0b00 => AluOp::Sub,
+                        0b01 => AluOp::Xor,
+                        0b10 => AluOp::Or,
+                        _ => AluOp::And,
+                    };
+                    Ok(Instr::Alu {
+                        op,
+                        rd,
+                        rs1: rd,
+                        rs2,
+                    })
+                }
+            }
+        }
+        (0b01, 0b101) => Ok(Instr::Jal {
+            rd: 0,
+            offset: cj_offset(w),
+        }),
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // C.BEQZ / C.BNEZ: branch rs1', x0
+            let offset = sext(
+                ((w >> 4) & 0x100)
+                    | ((w >> 7) & 0x18)
+                    | ((w << 1) & 0xC0)
+                    | ((w >> 2) & 0x6)
+                    | ((w << 3) & 0x20),
+                9,
+            );
+            Ok(Instr::Branch {
+                op: if funct3 == 0b110 {
+                    BranchOp::Eq
+                } else {
+                    BranchOp::Ne
+                },
+                rs1: creg(halfword >> 7),
+                rs2: 0,
+                offset,
+            })
+        }
+
+        // ---- Quadrant 2 ----
+        (0b10, 0b000) => {
+            // C.SLLI
+            let rd = ((halfword >> 7) & 0x1F) as u8;
+            let shamt = ((w >> 7) & 0x20) | ((w >> 2) & 0x1F);
+            Ok(Instr::AluImm {
+                op: AluOp::Sll,
+                rd,
+                rs1: rd,
+                imm: shamt as i32,
+            })
+        }
+        (0b10, 0b010) => {
+            // C.LWSP: lw rd, offset(x2)
+            let rd = ((halfword >> 7) & 0x1F) as u8;
+            if rd == 0 {
+                return Err(illegal());
+            }
+            let imm = ((w >> 7) & 0x20) | ((w >> 2) & 0x1C) | ((w << 4) & 0xC0);
+            Ok(Instr::Load {
+                op: LoadOp::Word,
+                rd,
+                rs1: 2,
+                offset: imm as i32,
+            })
+        }
+        (0b10, 0b100) => {
+            let rs1 = ((halfword >> 7) & 0x1F) as u8;
+            let rs2 = ((halfword >> 2) & 0x1F) as u8;
+            let bit12 = halfword & (1 << 12) != 0;
+            match (bit12, rs1, rs2) {
+                (false, 0, _) => Err(illegal()),
+                (false, _, 0) => Ok(Instr::Jalr {
+                    // C.JR
+                    rd: 0,
+                    rs1,
+                    offset: 0,
+                }),
+                (false, _, _) => Ok(Instr::Alu {
+                    // C.MV: add rd, x0, rs2
+                    op: AluOp::Add,
+                    rd: rs1,
+                    rs1: 0,
+                    rs2,
+                }),
+                (true, 0, 0) => Ok(Instr::Ebreak),
+                (true, _, 0) => Ok(Instr::Jalr {
+                    // C.JALR
+                    rd: 1,
+                    rs1,
+                    offset: 0,
+                }),
+                (true, _, _) => Ok(Instr::Alu {
+                    // C.ADD: add rd, rd, rs2
+                    op: AluOp::Add,
+                    rd: rs1,
+                    rs1,
+                    rs2,
+                }),
+            }
+        }
+        (0b10, 0b110) => {
+            // C.SWSP: sw rs2, offset(x2)
+            let imm = ((w >> 7) & 0x3C) | ((w >> 1) & 0xC0);
+            Ok(Instr::Store {
+                op: StoreOp::Word,
+                rs1: 2,
+                rs2: ((halfword >> 2) & 0x1F) as u8,
+                offset: imm as i32,
+            })
+        }
+        _ => Err(illegal()),
+    }
+}
+
+/// The CJ-format offset (C.J / C.JAL).
+fn cj_offset(w: u32) -> i32 {
+    sext(
+        ((w >> 1) & 0x800)
+            | ((w >> 7) & 0x10)
+            | ((w >> 1) & 0x300)
+            | ((w << 2) & 0x400)
+            | ((w >> 1) & 0x40)
+            | ((w << 1) & 0x80)
+            | ((w >> 2) & 0xE)
+            | ((w << 3) & 0x20),
+        12,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parcel_classification() {
+        assert!(is_compressed(0x0001)); // c.nop
+        assert!(is_compressed(0x4501)); // c.li
+        assert!(!is_compressed(0x0013)); // addi (32-bit low parcel)
+    }
+
+    // Golden encodings cross-checked against the RISC-V spec listings /
+    // GNU as output.
+    #[test]
+    fn golden_expansions() {
+        // c.nop = 0x0001 -> addi x0, x0, 0
+        assert_eq!(
+            decode_compressed(0x0001, 0).unwrap(),
+            Instr::AluImm { op: AluOp::Add, rd: 0, rs1: 0, imm: 0 }
+        );
+        // c.li a0, 5 = 0x4515
+        assert_eq!(
+            decode_compressed(0x4515, 0).unwrap(),
+            Instr::AluImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 5 }
+        );
+        // c.addi a0, -1 = 0x157d
+        assert_eq!(
+            decode_compressed(0x157D, 0).unwrap(),
+            Instr::AluImm { op: AluOp::Add, rd: 10, rs1: 10, imm: -1 }
+        );
+        // c.mv a0, a1 = 0x852e
+        assert_eq!(
+            decode_compressed(0x852E, 0).unwrap(),
+            Instr::Alu { op: AluOp::Add, rd: 10, rs1: 0, rs2: 11 }
+        );
+        // c.add a0, a1 = 0x952e
+        assert_eq!(
+            decode_compressed(0x952E, 0).unwrap(),
+            Instr::Alu { op: AluOp::Add, rd: 10, rs1: 10, rs2: 11 }
+        );
+        // c.lw a2, 0(a0) = 0x4110
+        assert_eq!(
+            decode_compressed(0x4110, 0).unwrap(),
+            Instr::Load { op: LoadOp::Word, rd: 12, rs1: 10, offset: 0 }
+        );
+        // c.sw a2, 4(a0) = 0xc150
+        assert_eq!(
+            decode_compressed(0xC150, 0).unwrap(),
+            Instr::Store { op: StoreOp::Word, rs1: 10, rs2: 12, offset: 4 }
+        );
+        // c.j +8 relative = 0xa021
+        assert_eq!(
+            decode_compressed(0xA021, 0).unwrap(),
+            Instr::Jal { rd: 0, offset: 8 }
+        );
+        // c.jr ra = 0x8082
+        assert_eq!(
+            decode_compressed(0x8082, 0).unwrap(),
+            Instr::Jalr { rd: 0, rs1: 1, offset: 0 }
+        );
+        // c.beqz a0, +6 = 0xc119
+        assert_eq!(
+            decode_compressed(0xC119, 0).unwrap(),
+            Instr::Branch { op: BranchOp::Eq, rs1: 10, rs2: 0, offset: 6 }
+        );
+        // c.slli a0, 1 = 0x0506
+        assert_eq!(
+            decode_compressed(0x0506, 0).unwrap(),
+            Instr::AluImm { op: AluOp::Sll, rd: 10, rs1: 10, imm: 1 }
+        );
+        // c.lwsp a0, 8(sp) = 0x4522
+        assert_eq!(
+            decode_compressed(0x4522, 0).unwrap(),
+            Instr::Load { op: LoadOp::Word, rd: 10, rs1: 2, offset: 8 }
+        );
+        // c.swsp a0, 12(sp) = 0xc62a
+        assert_eq!(
+            decode_compressed(0xC62A, 0).unwrap(),
+            Instr::Store { op: StoreOp::Word, rs1: 2, rs2: 10, offset: 12 }
+        );
+        // c.addi4spn a0, sp, 16 = 0x0808
+        assert_eq!(
+            decode_compressed(0x0808, 0).unwrap(),
+            Instr::AluImm { op: AluOp::Add, rd: 10, rs1: 2, imm: 16 }
+        );
+        // c.addi16sp sp, -64 = 0x7139
+        assert_eq!(
+            decode_compressed(0x7139, 0).unwrap(),
+            Instr::AluImm { op: AluOp::Add, rd: 2, rs1: 2, imm: -64 }
+        );
+        // c.lui a0, 0x1 = 0x6505
+        assert_eq!(
+            decode_compressed(0x6505, 0).unwrap(),
+            Instr::Lui { rd: 10, imm: 0x1000 }
+        );
+        // c.sub a0, a1 = 0x8d0d
+        assert_eq!(
+            decode_compressed(0x8D0D, 0).unwrap(),
+            Instr::Alu { op: AluOp::Sub, rd: 10, rs1: 10, rs2: 11 }
+        );
+        // c.andi a0, 0xf = 0x893d
+        assert_eq!(
+            decode_compressed(0x893D, 0).unwrap(),
+            Instr::AluImm { op: AluOp::And, rd: 10, rs1: 10, imm: 0xF }
+        );
+        // c.ebreak = 0x9002
+        assert_eq!(decode_compressed(0x9002, 0).unwrap(), Instr::Ebreak);
+    }
+
+    #[test]
+    fn reserved_encodings_rejected() {
+        assert!(decode_compressed(0x0000, 0).is_err()); // all-zero
+        assert!(decode_compressed(0x4002, 4).is_err()); // c.lwsp with rd=0
+        assert!(decode_compressed(0x8002, 4).is_err()); // c.jr with rs1=0
+    }
+
+    #[test]
+    fn cj_offset_handles_negative() {
+        // c.j -4: offset field for -4 = 0xbfed (from GNU as).
+        assert_eq!(
+            decode_compressed(0xBFED, 0).unwrap(),
+            Instr::Jal { rd: 0, offset: -6 }
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Machine-mode control and status registers.
+
+/// CSR addresses used by the core.
+pub mod addr {
+    /// Machine status.
+    pub const MSTATUS: u16 = 0x300;
+    /// Machine interrupt enable.
+    pub const MIE: u16 = 0x304;
+    /// Machine trap vector base (Ibex: vectored mode).
+    pub const MTVEC: u16 = 0x305;
+    /// Machine scratch.
+    pub const MSCRATCH: u16 = 0x340;
+    /// Machine exception PC.
+    pub const MEPC: u16 = 0x341;
+    /// Machine trap cause.
+    pub const MCAUSE: u16 = 0x342;
+    /// Machine interrupt pending.
+    pub const MIP: u16 = 0x344;
+    /// Machine cycle counter (low).
+    pub const MCYCLE: u16 = 0xB00;
+    /// Machine retired-instruction counter (low).
+    pub const MINSTRET: u16 = 0xB02;
+    /// Machine cycle counter (high).
+    pub const MCYCLEH: u16 = 0xB80;
+    /// Machine retired-instruction counter (high).
+    pub const MINSTRETH: u16 = 0xB82;
+    /// Hart id.
+    pub const MHARTID: u16 = 0xF14;
+}
+
+/// `mstatus.MIE` bit.
+pub const MSTATUS_MIE: u32 = 1 << 3;
+/// `mstatus.MPIE` bit.
+pub const MSTATUS_MPIE: u32 = 1 << 7;
+
+/// The machine-mode CSR file.
+///
+/// Follows Ibex's programmer's model where it matters for the paper's
+/// baseline: vectored interrupt dispatch through `mtvec`, `mie`/`mip` with
+/// the machine-external bit (11) and the 15 fast-interrupt bits (16..31).
+///
+/// ```
+/// use pels_cpu::csr::{addr, CsrFile, MSTATUS_MIE};
+/// let mut c = CsrFile::new();
+/// c.write(addr::MSTATUS, MSTATUS_MIE);
+/// assert!(c.interrupts_enabled());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrFile {
+    /// `mstatus` (only MIE/MPIE are implemented).
+    pub mstatus: u32,
+    /// `mie` interrupt-enable mask.
+    pub mie: u32,
+    /// `mip` pending mask (driven by the platform each cycle).
+    pub mip: u32,
+    /// `mtvec` trap vector base; bit 0 set = vectored (Ibex is always
+    /// vectored, so the mode bits are kept but ignored).
+    pub mtvec: u32,
+    /// `mscratch`.
+    pub mscratch: u32,
+    /// `mepc`.
+    pub mepc: u32,
+    /// `mcause`.
+    pub mcause: u32,
+    /// `mcycle` (maintained by the core).
+    pub mcycle: u64,
+    /// `minstret` (maintained by the core).
+    pub minstret: u64,
+}
+
+impl CsrFile {
+    /// Creates a reset CSR file (all zeros: interrupts disabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads CSR `a`; unknown addresses read as zero (Ibex returns zero
+    /// for unimplemented but non-trapping CSRs we don't model).
+    pub fn read(&self, a: u16) -> u32 {
+        match a {
+            addr::MSTATUS => self.mstatus,
+            addr::MIE => self.mie,
+            addr::MTVEC => self.mtvec,
+            addr::MSCRATCH => self.mscratch,
+            addr::MEPC => self.mepc,
+            addr::MCAUSE => self.mcause,
+            addr::MIP => self.mip,
+            addr::MCYCLE => self.mcycle as u32,
+            addr::MINSTRET => self.minstret as u32,
+            addr::MCYCLEH => (self.mcycle >> 32) as u32,
+            addr::MINSTRETH => (self.minstret >> 32) as u32,
+            addr::MHARTID => 0,
+            _ => 0,
+        }
+    }
+
+    /// Writes CSR `a`; read-only and unknown addresses are ignored.
+    pub fn write(&mut self, a: u16, v: u32) {
+        match a {
+            addr::MSTATUS => self.mstatus = v & (MSTATUS_MIE | MSTATUS_MPIE),
+            addr::MIE => self.mie = v,
+            addr::MTVEC => self.mtvec = v,
+            addr::MSCRATCH => self.mscratch = v,
+            addr::MEPC => self.mepc = v & !1,
+            addr::MCAUSE => self.mcause = v,
+            // MIP is platform-driven; MCYCLE/MINSTRET/MHARTID read-only.
+            _ => {}
+        }
+    }
+
+    /// Whether global machine interrupts are enabled.
+    pub fn interrupts_enabled(&self) -> bool {
+        self.mstatus & MSTATUS_MIE != 0
+    }
+
+    /// Lowest pending-and-enabled interrupt line, if any.
+    pub fn pending_interrupt(&self) -> Option<u32> {
+        let active = self.mip & self.mie;
+        (active != 0).then(|| active.trailing_zeros())
+    }
+
+    /// Performs interrupt entry: saves state, disables interrupts, and
+    /// returns the handler address (vectored dispatch).
+    pub fn enter_interrupt(&mut self, pc: u32, cause: u32) -> u32 {
+        self.mepc = pc;
+        self.mcause = 0x8000_0000 | cause;
+        let mie_was = self.mstatus & MSTATUS_MIE != 0;
+        self.mstatus &= !MSTATUS_MIE;
+        if mie_was {
+            self.mstatus |= MSTATUS_MPIE;
+        } else {
+            self.mstatus &= !MSTATUS_MPIE;
+        }
+        (self.mtvec & !0x3) + 4 * cause
+    }
+
+    /// Performs `mret`: restores the interrupt-enable state and returns
+    /// the resume address.
+    pub fn exit_interrupt(&mut self) -> u32 {
+        if self.mstatus & MSTATUS_MPIE != 0 {
+            self.mstatus |= MSTATUS_MIE;
+        } else {
+            self.mstatus &= !MSTATUS_MIE;
+        }
+        self.mstatus |= MSTATUS_MPIE;
+        self.mepc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_interrupt_respects_enable_masks() {
+        let mut c = CsrFile::new();
+        c.mip = 0b1010_0000;
+        assert_eq!(c.pending_interrupt(), None);
+        c.mie = 0b1000_0000;
+        assert_eq!(c.pending_interrupt(), Some(7));
+        c.mie = 0b1010_0000;
+        assert_eq!(c.pending_interrupt(), Some(5), "lowest line wins");
+    }
+
+    #[test]
+    fn interrupt_entry_exit_roundtrip() {
+        let mut c = CsrFile::new();
+        c.write(addr::MSTATUS, MSTATUS_MIE);
+        c.write(addr::MTVEC, 0x100);
+        let handler = c.enter_interrupt(0x80, 11);
+        assert_eq!(handler, 0x100 + 44);
+        assert_eq!(c.mepc, 0x80);
+        assert_eq!(c.mcause, 0x8000_000B);
+        assert!(!c.interrupts_enabled());
+        let resume = c.exit_interrupt();
+        assert_eq!(resume, 0x80);
+        assert!(c.interrupts_enabled());
+    }
+
+    #[test]
+    fn nested_entry_with_interrupts_disabled_keeps_them_disabled() {
+        let mut c = CsrFile::new();
+        c.write(addr::MTVEC, 0x100);
+        let _ = c.enter_interrupt(0x80, 3); // MIE was 0
+        let _ = c.exit_interrupt();
+        assert!(!c.interrupts_enabled());
+    }
+
+    #[test]
+    fn read_only_csrs_ignore_writes() {
+        let mut c = CsrFile::new();
+        c.mcycle = 99;
+        c.write(addr::MCYCLE, 0);
+        assert_eq!(c.read(addr::MCYCLE), 99);
+        c.write(addr::MIP, 0xFF);
+        assert_eq!(c.mip, 0);
+    }
+
+    #[test]
+    fn mepc_is_even() {
+        let mut c = CsrFile::new();
+        c.write(addr::MEPC, 0x81);
+        assert_eq!(c.mepc, 0x80);
+    }
+
+    #[test]
+    fn counter_high_halves_read_back() {
+        let mut c = CsrFile::new();
+        c.mcycle = 0x1_2345_6789;
+        c.minstret = 0x2_0000_0001;
+        assert_eq!(c.read(addr::MCYCLE), 0x2345_6789);
+        assert_eq!(c.read(addr::MCYCLEH), 1);
+        assert_eq!(c.read(addr::MINSTRET), 1);
+        assert_eq!(c.read(addr::MINSTRETH), 2);
+    }
+
+    #[test]
+    fn unknown_csrs_read_zero() {
+        let c = CsrFile::new();
+        assert_eq!(c.read(0x7C0), 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! RV32IM instruction decoder.
+
+use crate::instr::{AluOp, BranchOp, CsrOp, CsrSrc, Instr, LoadOp, MulDivOp, StoreOp};
+use std::error::Error;
+use std::fmt;
+
+/// A word that does not decode to a supported RV32IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable instruction word.
+    pub word: u32,
+    /// PC it was fetched from (0 when unknown).
+    pub pc: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal instruction {:#010x} at pc {:#010x}",
+            self.word, self.pc
+        )
+    }
+}
+
+impl Error for DecodeError {}
+
+#[inline]
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1F) as u8
+}
+#[inline]
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1F) as u8
+}
+#[inline]
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1F) as u8
+}
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+/// Sign-extended I-type immediate.
+#[inline]
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+/// Sign-extended S-type immediate.
+#[inline]
+fn imm_s(w: u32) -> i32 {
+    (((w & 0xFE00_0000) as i32) >> 20) | ((w >> 7) & 0x1F) as i32
+}
+
+/// Sign-extended B-type immediate.
+#[inline]
+fn imm_b(w: u32) -> i32 {
+    (((w & 0x8000_0000) as i32) >> 19)
+        | (((w >> 7) & 0x1) << 11) as i32
+        | (((w >> 25) & 0x3F) << 5) as i32
+        | (((w >> 8) & 0xF) << 1) as i32
+}
+
+/// Sign-extended J-type immediate.
+#[inline]
+fn imm_j(w: u32) -> i32 {
+    (((w & 0x8000_0000) as i32) >> 11)
+        | ((w & 0x000F_F000) as i32)
+        | (((w >> 20) & 0x1) << 11) as i32
+        | (((w >> 21) & 0x3FF) << 1) as i32
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words that are not valid, supported RV32IM
+/// encodings (the core raises an illegal-instruction condition on them).
+pub fn decode(word: u32, pc: u32) -> Result<Instr, DecodeError> {
+    let illegal = || DecodeError { word, pc };
+    let opcode = word & 0x7F;
+    match opcode {
+        0x37 => Ok(Instr::Lui {
+            rd: rd(word),
+            imm: word & 0xFFFF_F000,
+        }),
+        0x17 => Ok(Instr::Auipc {
+            rd: rd(word),
+            imm: word & 0xFFFF_F000,
+        }),
+        0x6F => Ok(Instr::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        }),
+        0x67 if funct3(word) == 0 => Ok(Instr::Jalr {
+            rd: rd(word),
+            rs1: rs1(word),
+            offset: imm_i(word),
+        }),
+        0x63 => {
+            let op = match funct3(word) {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return Err(illegal()),
+            };
+            Ok(Instr::Branch {
+                op,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            })
+        }
+        0x03 => {
+            let op = match funct3(word) {
+                0b000 => LoadOp::Byte,
+                0b001 => LoadOp::Half,
+                0b010 => LoadOp::Word,
+                0b100 => LoadOp::ByteU,
+                0b101 => LoadOp::HalfU,
+                _ => return Err(illegal()),
+            };
+            Ok(Instr::Load {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            })
+        }
+        0x23 => {
+            let op = match funct3(word) {
+                0b000 => StoreOp::Byte,
+                0b001 => StoreOp::Half,
+                0b010 => StoreOp::Word,
+                _ => return Err(illegal()),
+            };
+            Ok(Instr::Store {
+                op,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_s(word),
+            })
+        }
+        0x13 => {
+            let f3 = funct3(word);
+            let shamt = (word >> 20) & 0x1F;
+            let op = match f3 {
+                0b000 => AluOp::Add,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                0b001 if funct7(word) == 0 => AluOp::Sll,
+                0b101 if funct7(word) == 0 => AluOp::Srl,
+                0b101 if funct7(word) == 0b0100000 => AluOp::Sra,
+                _ => return Err(illegal()),
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => shamt as i32,
+                _ => imm_i(word),
+            };
+            Ok(Instr::AluImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            })
+        }
+        0x33 => {
+            let f3 = funct3(word);
+            let f7 = funct7(word);
+            if f7 == 0b0000001 {
+                let op = match f3 {
+                    0b000 => MulDivOp::Mul,
+                    0b001 => MulDivOp::Mulh,
+                    0b010 => MulDivOp::Mulhsu,
+                    0b011 => MulDivOp::Mulhu,
+                    0b100 => MulDivOp::Div,
+                    0b101 => MulDivOp::Divu,
+                    0b110 => MulDivOp::Rem,
+                    0b111 => MulDivOp::Remu,
+                    _ => unreachable!("funct3 is 3 bits"),
+                };
+                return Ok(Instr::MulDiv {
+                    op,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                });
+            }
+            let op = match (f3, f7) {
+                (0b000, 0b0000000) => AluOp::Add,
+                (0b000, 0b0100000) => AluOp::Sub,
+                (0b001, 0b0000000) => AluOp::Sll,
+                (0b010, 0b0000000) => AluOp::Slt,
+                (0b011, 0b0000000) => AluOp::Sltu,
+                (0b100, 0b0000000) => AluOp::Xor,
+                (0b101, 0b0000000) => AluOp::Srl,
+                (0b101, 0b0100000) => AluOp::Sra,
+                (0b110, 0b0000000) => AluOp::Or,
+                (0b111, 0b0000000) => AluOp::And,
+                _ => return Err(illegal()),
+            };
+            Ok(Instr::Alu {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            })
+        }
+        0x0F => Ok(Instr::Fence),
+        0x73 => {
+            let f3 = funct3(word);
+            if f3 == 0 {
+                return match word {
+                    0x0000_0073 => Ok(Instr::Ecall),
+                    0x0010_0073 => Ok(Instr::Ebreak),
+                    0x3020_0073 => Ok(Instr::Mret),
+                    0x1050_0073 => Ok(Instr::Wfi),
+                    _ => Err(illegal()),
+                };
+            }
+            let csr = (word >> 20) as u16;
+            let op = match f3 & 0b011 {
+                0b01 => CsrOp::ReadWrite,
+                0b10 => CsrOp::ReadSet,
+                0b11 => CsrOp::ReadClear,
+                _ => return Err(illegal()),
+            };
+            let src = if f3 & 0b100 != 0 {
+                CsrSrc::Imm(rs1(word))
+            } else {
+                CsrSrc::Reg(rs1(word))
+            };
+            Ok(Instr::Csr {
+                op,
+                rd: rd(word),
+                src,
+                csr,
+            })
+        }
+        _ => Err(illegal()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    #[test]
+    fn decode_alu_imm() {
+        assert_eq!(
+            decode(asm::addi(5, 6, -12), 0).unwrap(),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 6,
+                imm: -12
+            }
+        );
+        assert_eq!(
+            decode(asm::srai(1, 2, 7), 0).unwrap(),
+            Instr::AluImm {
+                op: AluOp::Sra,
+                rd: 1,
+                rs1: 2,
+                imm: 7
+            }
+        );
+    }
+
+    #[test]
+    fn decode_alu_reg_and_muldiv() {
+        assert_eq!(
+            decode(asm::sub(3, 4, 5), 0).unwrap(),
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: 3,
+                rs1: 4,
+                rs2: 5
+            }
+        );
+        assert_eq!(
+            decode(asm::mul(1, 2, 3), 0).unwrap(),
+            Instr::MulDiv {
+                op: MulDivOp::Mul,
+                rd: 1,
+                rs1: 2,
+                rs2: 3
+            }
+        );
+        assert_eq!(
+            decode(asm::divu(1, 2, 3), 0).unwrap(),
+            Instr::MulDiv {
+                op: MulDivOp::Divu,
+                rd: 1,
+                rs1: 2,
+                rs2: 3
+            }
+        );
+    }
+
+    #[test]
+    fn decode_branches_with_negative_offsets() {
+        assert_eq!(
+            decode(asm::beq(1, 2, -8), 0).unwrap(),
+            Instr::Branch {
+                op: BranchOp::Eq,
+                rs1: 1,
+                rs2: 2,
+                offset: -8
+            }
+        );
+        assert_eq!(
+            decode(asm::bgeu(7, 8, 4094), 0).unwrap(),
+            Instr::Branch {
+                op: BranchOp::Geu,
+                rs1: 7,
+                rs2: 8,
+                offset: 4094
+            }
+        );
+    }
+
+    #[test]
+    fn decode_loads_stores() {
+        assert_eq!(
+            decode(asm::lw(10, 11, 0x7FF), 0).unwrap(),
+            Instr::Load {
+                op: LoadOp::Word,
+                rd: 10,
+                rs1: 11,
+                offset: 0x7FF
+            }
+        );
+        assert_eq!(
+            decode(asm::sw(12, 13, -2048), 0).unwrap(),
+            Instr::Store {
+                op: StoreOp::Word,
+                rs1: 12,
+                rs2: 13,
+                offset: -2048
+            }
+        );
+        assert_eq!(
+            decode(asm::lbu(1, 2, 3), 0).unwrap(),
+            Instr::Load {
+                op: LoadOp::ByteU,
+                rd: 1,
+                rs1: 2,
+                offset: 3
+            }
+        );
+    }
+
+    #[test]
+    fn decode_jumps() {
+        assert_eq!(
+            decode(asm::jal(1, -1024), 0).unwrap(),
+            Instr::Jal { rd: 1, offset: -1024 }
+        );
+        assert_eq!(
+            decode(asm::jalr(0, 1, 16), 0).unwrap(),
+            Instr::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 16
+            }
+        );
+    }
+
+    #[test]
+    fn decode_upper_immediates() {
+        assert_eq!(
+            decode(asm::lui(4, 0xDEADB000), 0).unwrap(),
+            Instr::Lui {
+                rd: 4,
+                imm: 0xDEADB000
+            }
+        );
+        assert_eq!(
+            decode(asm::auipc(4, 0x1000), 0).unwrap(),
+            Instr::Auipc { rd: 4, imm: 0x1000 }
+        );
+    }
+
+    #[test]
+    fn decode_system_instructions() {
+        assert_eq!(decode(asm::wfi(), 0).unwrap(), Instr::Wfi);
+        assert_eq!(decode(asm::mret(), 0).unwrap(), Instr::Mret);
+        assert_eq!(decode(asm::ecall(), 0).unwrap(), Instr::Ecall);
+        assert_eq!(decode(asm::ebreak(), 0).unwrap(), Instr::Ebreak);
+        assert_eq!(decode(asm::fence(), 0).unwrap(), Instr::Fence);
+    }
+
+    #[test]
+    fn decode_csr_forms() {
+        assert_eq!(
+            decode(asm::csrrw(1, 0x305, 2), 0).unwrap(),
+            Instr::Csr {
+                op: CsrOp::ReadWrite,
+                rd: 1,
+                src: CsrSrc::Reg(2),
+                csr: 0x305
+            }
+        );
+        assert_eq!(
+            decode(asm::csrrsi(0, 0x300, 8), 0).unwrap(),
+            Instr::Csr {
+                op: CsrOp::ReadSet,
+                rd: 0,
+                src: CsrSrc::Imm(8),
+                csr: 0x300
+            }
+        );
+    }
+
+    #[test]
+    fn illegal_words_rejected() {
+        for w in [0u32, 0xFFFF_FFFF, 0x0000_007F, 0xC000_1073 & !0x3000] {
+            if let Ok(i) = decode(w, 0x80) {
+                panic!("word {w:#x} unexpectedly decoded to {i}");
+            }
+        }
+        let err = decode(0, 0x80).unwrap_err();
+        assert_eq!(err.pc, 0x80);
+        assert!(err.to_string().contains("illegal instruction"));
+    }
+}

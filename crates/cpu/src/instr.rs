@@ -1,0 +1,225 @@
+//! Decoded instruction forms.
+
+use std::fmt;
+
+/// ALU operation (shared by register-register and register-immediate
+/// forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (`add`/`addi`); the register-register subtract is
+    /// [`AluOp::Sub`].
+    Add,
+    /// Subtraction (`sub`).
+    Sub,
+    /// Set-less-than signed.
+    Slt,
+    /// Set-less-than unsigned.
+    Sltu,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+    /// Logical left shift.
+    Sll,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+}
+
+/// Branch comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt`
+    Lt,
+    /// `bge`
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+/// Load width/signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    /// `lb`
+    Byte,
+    /// `lh`
+    Half,
+    /// `lw`
+    Word,
+    /// `lbu`
+    ByteU,
+    /// `lhu`
+    HalfU,
+}
+
+/// Store width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// `sb`
+    Byte,
+    /// `sh`
+    Half,
+    /// `sw`
+    Word,
+}
+
+/// M-extension operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// `mul`
+    Mul,
+    /// `mulh`
+    Mulh,
+    /// `mulhsu`
+    Mulhsu,
+    /// `mulhu`
+    Mulhu,
+    /// `div`
+    Div,
+    /// `divu`
+    Divu,
+    /// `rem`
+    Rem,
+    /// `remu`
+    Remu,
+}
+
+/// CSR access operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// `csrrw`/`csrrwi`
+    ReadWrite,
+    /// `csrrs`/`csrrsi`
+    ReadSet,
+    /// `csrrc`/`csrrci`
+    ReadClear,
+}
+
+/// Source operand of a CSR instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrSrc {
+    /// Register form: operand comes from `rs1`.
+    Reg(u8),
+    /// Immediate form: 5-bit zero-extended immediate.
+    Imm(u8),
+}
+
+/// A decoded RV32IM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings follow the RISC-V spec directly
+pub enum Instr {
+    Lui { rd: u8, imm: u32 },
+    Auipc { rd: u8, imm: u32 },
+    Jal { rd: u8, offset: i32 },
+    Jalr { rd: u8, rs1: u8, offset: i32 },
+    Branch { op: BranchOp, rs1: u8, rs2: u8, offset: i32 },
+    Load { op: LoadOp, rd: u8, rs1: u8, offset: i32 },
+    Store { op: StoreOp, rs1: u8, rs2: u8, offset: i32 },
+    AluImm { op: AluOp, rd: u8, rs1: u8, imm: i32 },
+    Alu { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    MulDiv { op: MulDivOp, rd: u8, rs1: u8, rs2: u8 },
+    Csr { op: CsrOp, rd: u8, src: CsrSrc, csr: u16 },
+    Fence,
+    Ecall,
+    Ebreak,
+    Mret,
+    Wfi,
+}
+
+impl Instr {
+    /// Whether the instruction may redirect the PC.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. } | Instr::Mret
+        )
+    }
+
+    /// Whether the instruction accesses data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Lui { rd, imm } => write!(f, "lui x{rd}, {:#x}", imm >> 12),
+            Instr::Auipc { rd, imm } => write!(f, "auipc x{rd}, {:#x}", imm >> 12),
+            Instr::Jal { rd, offset } => write!(f, "jal x{rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr x{rd}, {offset}(x{rs1})"),
+            Instr::Branch { op, rs1, rs2, offset } => {
+                write!(f, "b{op:?} x{rs1}, x{rs2}, {offset}")
+            }
+            Instr::Load { op, rd, rs1, offset } => {
+                write!(f, "l{op:?} x{rd}, {offset}(x{rs1})")
+            }
+            Instr::Store { op, rs1, rs2, offset } => {
+                write!(f, "s{op:?} x{rs2}, {offset}(x{rs1})")
+            }
+            Instr::AluImm { op, rd, rs1, imm } => write!(f, "{op:?}i x{rd}, x{rs1}, {imm}"),
+            Instr::Alu { op, rd, rs1, rs2 } => write!(f, "{op:?} x{rd}, x{rs1}, x{rs2}"),
+            Instr::MulDiv { op, rd, rs1, rs2 } => write!(f, "{op:?} x{rd}, x{rs1}, x{rs2}"),
+            Instr::Csr { op, rd, src, csr } => {
+                write!(f, "{op:?} x{rd}, {csr:#x}, {src:?}")
+            }
+            Instr::Fence => f.write_str("fence"),
+            Instr::Ecall => f.write_str("ecall"),
+            Instr::Ebreak => f.write_str("ebreak"),
+            Instr::Mret => f.write_str("mret"),
+            Instr::Wfi => f.write_str("wfi"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Instr::Jal { rd: 0, offset: 8 }.is_control_flow());
+        assert!(Instr::Mret.is_control_flow());
+        assert!(!Instr::Fence.is_control_flow());
+        assert!(!Instr::Lui { rd: 1, imm: 0 }.is_control_flow());
+    }
+
+    #[test]
+    fn mem_classification() {
+        assert!(Instr::Load {
+            op: LoadOp::Word,
+            rd: 1,
+            rs1: 2,
+            offset: 0
+        }
+        .is_mem());
+        assert!(!Instr::Wfi.is_mem());
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_forms() {
+        let samples = [
+            Instr::Lui { rd: 1, imm: 0x1000 },
+            Instr::Jal { rd: 1, offset: -4 },
+            Instr::Wfi,
+            Instr::Csr {
+                op: CsrOp::ReadWrite,
+                rd: 0,
+                src: CsrSrc::Imm(3),
+                csr: 0x300,
+            },
+        ];
+        for s in samples {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

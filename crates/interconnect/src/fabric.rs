@@ -1,0 +1,640 @@
+//! The bus fabric: master ports, decode, arbitration and APB phase timing.
+
+use crate::addr::{AddrRange, AddressMap};
+use crate::apb::{ApbRequest, ApbResponse, ApbSlave, BusError, Dir};
+use crate::arbiter::{Arbiter, ArbiterKind};
+use pels_sim::{ActivityKind, ActivitySet};
+use std::fmt;
+
+/// Handle to a master port, returned by [`ApbFabric::add_master`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MasterId(usize);
+
+impl MasterId {
+    /// Raw port index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a slave, returned by [`ApbFabric::add_slave`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlaveId(usize);
+
+impl SlaveId {
+    /// Raw slave index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Fabric topology (paper Section IV-A: "the topology of the system
+/// interconnect ... affect(s) the number of links that can access a group
+/// of peripherals in parallel").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Topology {
+    /// One transfer at a time anywhere on the bus — a single-channel APB,
+    /// PULPissimo's peripheral-bus configuration.
+    #[default]
+    Shared,
+    /// One concurrent transfer per slave — a crossbar in front of the APB
+    /// endpoints; masters targeting different slaves proceed in parallel.
+    PerSlaveCrossbar,
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Shared => f.write_str("shared"),
+            Topology::PerSlaveCrossbar => f.write_str("per-slave crossbar"),
+        }
+    }
+}
+
+/// Aggregate fabric statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Completed transfers.
+    pub transfers: u64,
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+    /// Master-cycles spent with a request pending but not granted.
+    pub stall_cycles: u64,
+    /// Cycles with at least one transfer in flight.
+    pub busy_cycles: u64,
+    /// Transfers that failed to decode.
+    pub decode_errors: u64,
+    /// Transfers the slave rejected.
+    pub slave_errors: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Setup,
+    Access { remaining: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    master: usize,
+    /// Decoded `(slave index, offset)`; `None` when decode failed.
+    target: Option<(usize, u32)>,
+    request: ApbRequest,
+    phase: Phase,
+}
+
+#[derive(Debug)]
+struct MasterPort {
+    name: String,
+    pending: Option<ApbRequest>,
+    response: Option<ApbResponse>,
+    stall_cycles: u64,
+}
+
+/// The peripheral interconnect.
+///
+/// Generic over the slave type `S` so integrations can use concrete slaves
+/// (tests), or `Box<dyn ...>` trait objects (the SoC), and still reach the
+/// typed slave through [`ApbFabric::slave_mut`].
+///
+/// Drive it by calling [`ApbFabric::issue`] from master models during the
+/// combinational phase of a cycle and [`ApbFabric::tick`] exactly once per
+/// cycle after all masters have run.
+#[derive(Debug)]
+pub struct ApbFabric<S> {
+    topology: Topology,
+    arbiter_kind: ArbiterKind,
+    masters: Vec<MasterPort>,
+    slaves: Vec<S>,
+    map: AddressMap,
+    /// One lane per concurrent transfer: lane 0 only for [`Topology::Shared`];
+    /// one lane per slave plus a decode-error lane for the crossbar.
+    lanes: Vec<Option<InFlight>>,
+    arbiters: Vec<Box<dyn Arbiter>>,
+    cycle: u64,
+    stats: FabricStats,
+}
+
+impl<S: ApbSlave> ApbFabric<S> {
+    /// Creates a single-channel (shared) fabric with round-robin
+    /// arbitration — the paper's configuration.
+    pub fn shared() -> Self {
+        Self::with_config(Topology::Shared, ArbiterKind::RoundRobin)
+    }
+
+    /// Creates a per-slave crossbar fabric with round-robin arbitration.
+    pub fn crossbar() -> Self {
+        Self::with_config(Topology::PerSlaveCrossbar, ArbiterKind::RoundRobin)
+    }
+
+    /// Creates a fabric with an explicit topology and arbitration policy.
+    pub fn with_config(topology: Topology, arbiter_kind: ArbiterKind) -> Self {
+        let mut fabric = ApbFabric {
+            topology,
+            arbiter_kind,
+            masters: Vec::new(),
+            slaves: Vec::new(),
+            map: AddressMap::new(),
+            lanes: Vec::new(),
+            arbiters: Vec::new(),
+            cycle: 0,
+            stats: FabricStats::default(),
+        };
+        fabric.rebuild_lanes();
+        fabric
+    }
+
+    fn rebuild_lanes(&mut self) {
+        let n = match self.topology {
+            Topology::Shared => 1,
+            // One lane per slave + one for decode errors.
+            Topology::PerSlaveCrossbar => self.slaves.len() + 1,
+        };
+        self.lanes = (0..n).map(|_| None).collect();
+        self.arbiters = (0..n).map(|_| self.arbiter_kind.build()).collect();
+    }
+
+    /// The configured topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The configured arbitration policy.
+    pub fn arbiter_kind(&self) -> ArbiterKind {
+        self.arbiter_kind
+    }
+
+    /// Registers a master port.
+    pub fn add_master(&mut self, name: impl Into<String>) -> MasterId {
+        self.masters.push(MasterPort {
+            name: name.into(),
+            pending: None,
+            response: None,
+            stall_cycles: 0,
+        });
+        MasterId(self.masters.len() - 1)
+    }
+
+    /// Maps `slave` at `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` overlaps an already-mapped slave — bus maps are
+    /// static hardware configuration, so this is a construction bug, not a
+    /// runtime condition.
+    pub fn add_slave(&mut self, range: AddrRange, slave: S) -> SlaveId {
+        let idx = self.slaves.len();
+        if let Err(e) = self.map.insert(range, idx) {
+            panic!("fabric address map conflict: {e}");
+        }
+        self.slaves.push(slave);
+        self.rebuild_lanes();
+        SlaveId(idx)
+    }
+
+    /// Immutable access to a slave model.
+    pub fn slave(&self, id: SlaveId) -> &S {
+        &self.slaves[id.0]
+    }
+
+    /// Mutable access to a slave model (for SoC harnesses that need to tick
+    /// peripheral-internal state).
+    pub fn slave_mut(&mut self, id: SlaveId) -> &mut S {
+        &mut self.slaves[id.0]
+    }
+
+    /// Iterates mutably over all slaves with their ids.
+    pub fn slaves_mut(&mut self) -> impl Iterator<Item = (SlaveId, &mut S)> {
+        self.slaves
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| (SlaveId(i), s))
+    }
+
+    /// Number of registered slaves.
+    pub fn slave_count(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// Number of registered master ports.
+    pub fn master_count(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Name given to a master port.
+    pub fn master_name(&self, id: MasterId) -> &str {
+        &self.masters[id.0].name
+    }
+
+    /// Whether `master` can accept a new request this cycle.
+    pub fn can_issue(&self, master: MasterId) -> bool {
+        let port = &self.masters[master.0];
+        port.pending.is_none() && !self.master_in_flight(master.0)
+    }
+
+    fn master_in_flight(&self, master: usize) -> bool {
+        self.lanes
+            .iter()
+            .flatten()
+            .any(|f| f.master == master)
+    }
+
+    /// Queues a request on `master`'s port; it will arbitrate from the next
+    /// [`ApbFabric::tick`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::Busy`] if the master already has a request
+    /// pending or in flight.
+    pub fn issue(&mut self, master: MasterId, request: ApbRequest) -> Result<(), BusError> {
+        if !self.can_issue(master) {
+            return Err(BusError::Busy);
+        }
+        self.masters[master.0].pending = Some(request);
+        Ok(())
+    }
+
+    /// Takes the response registered for `master`, if any.
+    pub fn take_response(&mut self, master: MasterId) -> Option<ApbResponse> {
+        self.masters[master.0].response.take()
+    }
+
+    /// Peeks at the registered response without consuming it.
+    pub fn response(&self, master: MasterId) -> Option<&ApbResponse> {
+        self.masters[master.0].response.as_ref()
+    }
+
+    /// Current fabric cycle (number of [`ApbFabric::tick`] calls).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Lane index a request on `addr` arbitrates in.
+    fn lane_of(&self, target: Option<(usize, u32)>) -> usize {
+        match self.topology {
+            Topology::Shared => 0,
+            Topology::PerSlaveCrossbar => match target {
+                Some((slave, _)) => slave,
+                None => self.slaves.len(), // decode-error lane
+            },
+        }
+    }
+
+    /// Advances the bus by one clock cycle.
+    ///
+    /// Phase order within the tick:
+    /// 1. in-flight transfers advance (setup → access; access completion
+    ///    performs the slave read/write and registers the response);
+    /// 2. lanes that were idle at the start of the cycle grant one pending
+    ///    request each (its setup phase is this cycle).
+    ///
+    /// Completion and a new grant never share a lane in one cycle, giving
+    /// the APB back-to-back rate of one transfer per two cycles.
+    pub fn tick(&mut self) {
+        let lanes_free_at_start: Vec<bool> = self.lanes.iter().map(|l| l.is_none()).collect();
+
+        // Phase 1: advance in-flight transfers.
+        #[allow(clippy::needless_range_loop)] // lane indexes two arrays
+        for lane in 0..self.lanes.len() {
+            let Some(mut flight) = self.lanes[lane].take() else {
+                continue;
+            };
+            // A transfer granted (setup) in cycle N reaches its access
+            // phase in cycle N+1; with zero wait states it completes there.
+            let finish = match flight.phase {
+                Phase::Setup => {
+                    let waits = match flight.target {
+                        Some((slave, offset)) => {
+                            self.slaves[slave].wait_states(offset, flight.request.dir)
+                        }
+                        None => 0,
+                    };
+                    if waits == 0 {
+                        true
+                    } else {
+                        flight.phase = Phase::Access { remaining: waits - 1 };
+                        false
+                    }
+                }
+                Phase::Access { remaining: 0 } => true,
+                Phase::Access { remaining } => {
+                    flight.phase = Phase::Access {
+                        remaining: remaining - 1,
+                    };
+                    false
+                }
+            };
+            if finish {
+                let result = self.complete(&flight);
+                self.masters[flight.master].response = Some(ApbResponse {
+                    request: flight.request,
+                    result,
+                    completed_cycle: self.cycle,
+                });
+                self.stats.transfers += 1;
+                match flight.request.dir {
+                    Dir::Read => self.stats.reads += 1,
+                    Dir::Write => self.stats.writes += 1,
+                }
+            } else {
+                self.lanes[lane] = Some(flight);
+            }
+        }
+
+        // Phase 2: grant new transfers on lanes idle at the start of the
+        // cycle.
+        let decoded: Vec<Option<(usize, u32)>> = self
+            .masters
+            .iter()
+            .map(|p| p.pending.map(|r| self.map.decode(r.addr)).unwrap_or(None))
+            .collect();
+        #[allow(clippy::needless_range_loop)] // lane indexes two arrays
+        for lane in 0..self.lanes.len() {
+            if !lanes_free_at_start[lane] || self.lanes[lane].is_some() {
+                continue;
+            }
+            let requests: Vec<bool> = self
+                .masters
+                .iter()
+                .enumerate()
+                .map(|(m, p)| {
+                    p.pending.is_some() && self.lane_of(decoded[m]) == lane
+                })
+                .collect();
+            if let Some(granted) = self.arbiters[lane].grant(&requests) {
+                let request = self.masters[granted]
+                    .pending
+                    .take()
+                    .expect("granted master has a pending request");
+                self.lanes[lane] = Some(InFlight {
+                    master: granted,
+                    target: decoded[granted],
+                    request,
+                    phase: Phase::Setup,
+                });
+            }
+        }
+
+        // Accounting.
+        for port in &mut self.masters {
+            if port.pending.is_some() {
+                port.stall_cycles += 1;
+                self.stats.stall_cycles += 1;
+            }
+        }
+        // Busy = a transfer occupied a lane at the start of the cycle
+        // (setup/access in progress) or was granted during it.
+        if lanes_free_at_start.iter().any(|&free| !free)
+            || self.lanes.iter().any(Option::is_some)
+        {
+            self.stats.busy_cycles += 1;
+        }
+        self.cycle += 1;
+    }
+
+    fn complete(&mut self, flight: &InFlight) -> Result<u32, BusError> {
+        match flight.target {
+            None => {
+                self.stats.decode_errors += 1;
+                Err(BusError::Decode {
+                    addr: flight.request.addr,
+                })
+            }
+            Some((slave, offset)) => {
+                let r = match flight.request.dir {
+                    Dir::Read => self.slaves[slave].read(offset),
+                    Dir::Write => self.slaves[slave]
+                        .write(offset, flight.request.wdata)
+                        .map(|()| 0),
+                };
+                if r.is_err() {
+                    self.stats.slave_errors += 1;
+                }
+                r
+            }
+        }
+    }
+
+    /// Drains per-master stall counts and aggregate transfer counts into an
+    /// [`ActivitySet`]; counters restart from zero.
+    pub fn drain_activity(&mut self, into: &mut ActivitySet) {
+        for port in &mut self.masters {
+            into.record(&port.name, ActivityKind::BusStall, port.stall_cycles);
+            port.stall_cycles = 0;
+        }
+        into.record("fabric", ActivityKind::BusTransfer, self.stats.transfers);
+        into.record("fabric", ActivityKind::ActiveCycle, self.stats.busy_cycles);
+        self.stats.transfers = 0;
+        self.stats.busy_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemorySlave;
+
+    fn fabric_1m_2s() -> (ApbFabric<MemorySlave>, MasterId, SlaveId, SlaveId) {
+        let mut f = ApbFabric::shared();
+        let m = f.add_master("m0");
+        let s0 = f.add_slave(AddrRange::new(0x1000, 0x100), MemorySlave::new(0x100));
+        let s1 = f.add_slave(AddrRange::new(0x2000, 0x100), MemorySlave::new(0x100));
+        (f, m, s0, s1)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (mut f, m, s0, _) = fabric_1m_2s();
+        f.issue(m, ApbRequest::write(0x1010, 0xCAFE)).unwrap();
+        f.tick(); // setup
+        f.tick(); // access
+        let resp = f.take_response(m).unwrap();
+        assert!(resp.result.is_ok());
+        assert_eq!(f.slave(s0).word(0x10 / 4), 0xCAFE);
+
+        f.issue(m, ApbRequest::read(0x1010)).unwrap();
+        f.tick();
+        f.tick();
+        assert_eq!(f.take_response(m).unwrap().rdata(), 0xCAFE);
+    }
+
+    #[test]
+    fn transfer_takes_exactly_two_cycles() {
+        let (mut f, m, _, _) = fabric_1m_2s();
+        f.issue(m, ApbRequest::read(0x1000)).unwrap();
+        f.tick(); // setup
+        assert!(f.response(m).is_none());
+        f.tick(); // access
+        let resp = f.response(m).expect("response after access");
+        assert_eq!(resp.completed_cycle, 1);
+    }
+
+    #[test]
+    fn wait_states_extend_access_phase() {
+        let mut f: ApbFabric<MemorySlave> = ApbFabric::shared();
+        let m = f.add_master("m0");
+        f.add_slave(
+            AddrRange::new(0x0, 0x100),
+            MemorySlave::with_wait_states(0x100, 2),
+        );
+        f.issue(m, ApbRequest::read(0x0)).unwrap();
+        for _ in 0..3 {
+            f.tick();
+            assert!(f.response(m).is_none());
+        }
+        f.tick(); // setup + 2 waits + access = 4 ticks
+        assert!(f.response(m).is_some());
+    }
+
+    #[test]
+    fn decode_error_reported() {
+        let (mut f, m, _, _) = fabric_1m_2s();
+        f.issue(m, ApbRequest::read(0xDEAD_0000)).unwrap();
+        f.tick();
+        f.tick();
+        let resp = f.take_response(m).unwrap();
+        assert_eq!(
+            resp.result,
+            Err(BusError::Decode { addr: 0xDEAD_0000 })
+        );
+        assert_eq!(f.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn busy_master_cannot_double_issue() {
+        let (mut f, m, _, _) = fabric_1m_2s();
+        f.issue(m, ApbRequest::read(0x1000)).unwrap();
+        assert_eq!(f.issue(m, ApbRequest::read(0x1004)), Err(BusError::Busy));
+        f.tick(); // granted -> in flight
+        assert_eq!(f.issue(m, ApbRequest::read(0x1004)), Err(BusError::Busy));
+        f.tick();
+        let _ = f.take_response(m);
+        assert!(f.can_issue(m));
+    }
+
+    #[test]
+    fn shared_topology_serializes_masters() {
+        let mut f: ApbFabric<MemorySlave> = ApbFabric::shared();
+        let a = f.add_master("a");
+        let b = f.add_master("b");
+        f.add_slave(AddrRange::new(0x0, 0x100), MemorySlave::new(0x100));
+        f.add_slave(AddrRange::new(0x100, 0x100), MemorySlave::new(0x100));
+        f.issue(a, ApbRequest::write(0x0, 1)).unwrap();
+        f.issue(b, ApbRequest::write(0x100, 2)).unwrap();
+        f.tick(); // a setup (round-robin: a first)
+        f.tick(); // a access -> done
+        assert!(f.take_response(a).is_some());
+        assert!(f.response(b).is_none());
+        f.tick(); // b setup
+        f.tick(); // b access
+        assert!(f.take_response(b).is_some());
+    }
+
+    #[test]
+    fn crossbar_runs_disjoint_slaves_in_parallel() {
+        let mut f: ApbFabric<MemorySlave> = ApbFabric::crossbar();
+        let a = f.add_master("a");
+        let b = f.add_master("b");
+        f.add_slave(AddrRange::new(0x0, 0x100), MemorySlave::new(0x100));
+        f.add_slave(AddrRange::new(0x100, 0x100), MemorySlave::new(0x100));
+        f.issue(a, ApbRequest::write(0x0, 1)).unwrap();
+        f.issue(b, ApbRequest::write(0x100, 2)).unwrap();
+        f.tick();
+        f.tick();
+        // Both complete in the same two cycles.
+        assert!(f.take_response(a).is_some());
+        assert!(f.take_response(b).is_some());
+    }
+
+    #[test]
+    fn crossbar_still_serializes_same_slave() {
+        let mut f: ApbFabric<MemorySlave> = ApbFabric::crossbar();
+        let a = f.add_master("a");
+        let b = f.add_master("b");
+        f.add_slave(AddrRange::new(0x0, 0x100), MemorySlave::new(0x100));
+        f.issue(a, ApbRequest::write(0x0, 1)).unwrap();
+        f.issue(b, ApbRequest::write(0x4, 2)).unwrap();
+        f.tick();
+        f.tick();
+        let done = [f.take_response(a).is_some(), f.take_response(b).is_some()];
+        assert_eq!(done.iter().filter(|&&d| d).count(), 1);
+    }
+
+    #[test]
+    fn round_robin_alternates_contending_masters() {
+        let mut f: ApbFabric<MemorySlave> = ApbFabric::shared();
+        let a = f.add_master("a");
+        let b = f.add_master("b");
+        f.add_slave(AddrRange::new(0x0, 0x100), MemorySlave::new(0x100));
+        let mut order = Vec::new();
+        for _ in 0..4 {
+            if f.can_issue(a) {
+                f.issue(a, ApbRequest::read(0x0)).unwrap();
+            }
+            if f.can_issue(b) {
+                f.issue(b, ApbRequest::read(0x4)).unwrap();
+            }
+            f.tick();
+            if f.take_response(a).is_some() {
+                order.push('a');
+            }
+            if f.take_response(b).is_some() {
+                order.push('b');
+            }
+        }
+        assert_eq!(order, vec!['a', 'b']);
+    }
+
+    #[test]
+    fn stats_and_activity_drain() {
+        let (mut f, m, _, _) = fabric_1m_2s();
+        f.issue(m, ApbRequest::write(0x1000, 5)).unwrap();
+        f.tick();
+        f.tick();
+        let stats = f.stats();
+        assert_eq!(stats.transfers, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.busy_cycles, 2);
+        let mut a = ActivitySet::new();
+        f.drain_activity(&mut a);
+        assert_eq!(a.count("fabric", ActivityKind::BusTransfer), 1);
+        // Drained: second drain adds nothing.
+        let mut a2 = ActivitySet::new();
+        f.drain_activity(&mut a2);
+        assert_eq!(a2.count("fabric", ActivityKind::BusTransfer), 0);
+    }
+
+    #[test]
+    fn crossbar_decode_error_uses_error_lane() {
+        let mut f: ApbFabric<MemorySlave> = ApbFabric::crossbar();
+        let a = f.add_master("a");
+        let b = f.add_master("b");
+        f.add_slave(AddrRange::new(0x0, 0x100), MemorySlave::new(0x100));
+        // a: unmapped address (error lane); b: valid slave — both proceed
+        // in parallel because they arbitrate in different lanes.
+        f.issue(a, ApbRequest::read(0xDEAD_0000)).unwrap();
+        f.issue(b, ApbRequest::write(0x0, 9)).unwrap();
+        f.tick();
+        f.tick();
+        assert!(matches!(
+            f.take_response(a).unwrap().result,
+            Err(BusError::Decode { .. })
+        ));
+        assert!(f.take_response(b).unwrap().result.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "address map conflict")]
+    fn overlapping_slave_panics() {
+        let mut f: ApbFabric<MemorySlave> = ApbFabric::shared();
+        f.add_slave(AddrRange::new(0x0, 0x100), MemorySlave::new(0x100));
+        f.add_slave(AddrRange::new(0x80, 0x100), MemorySlave::new(0x100));
+    }
+}

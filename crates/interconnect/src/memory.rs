@@ -1,0 +1,164 @@
+//! A word-addressed memory slave.
+//!
+//! Serves two roles in the reproduction: a generic test slave for the
+//! fabric, and — with wait states — the model of SRAM-class endpoints whose
+//! access cost the paper contrasts with PELS's private SCM.
+
+use crate::apb::{ApbSlave, BusError, Dir};
+
+/// A RAM-like APB slave of 32-bit words with configurable wait states and
+/// access counters.
+///
+/// ```
+/// use pels_interconnect::{ApbSlave, MemorySlave};
+/// let mut m = MemorySlave::new(0x40);
+/// m.write(0x8, 123)?;
+/// assert_eq!(m.read(0x8)?, 123);
+/// assert_eq!(m.reads(), 1);
+/// # Ok::<(), pels_interconnect::BusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySlave {
+    words: Vec<u32>,
+    wait_states: u32,
+    reads: u64,
+    writes: u64,
+}
+
+impl MemorySlave {
+    /// Creates a zero-initialized memory of `size_bytes` (rounded up to a
+    /// whole word), with zero wait states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero.
+    pub fn new(size_bytes: u32) -> Self {
+        Self::with_wait_states(size_bytes, 0)
+    }
+
+    /// Creates a memory with the given access-phase wait states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero.
+    pub fn with_wait_states(size_bytes: u32, wait_states: u32) -> Self {
+        assert!(size_bytes > 0, "memory must have non-zero size");
+        let words = (size_bytes as usize).div_ceil(4);
+        MemorySlave {
+            words: vec![0; words],
+            wait_states,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Direct (bus-less) view of word `index`, for test assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn word(&self, index: u32) -> u32 {
+        self.words[index as usize]
+    }
+
+    /// Direct (bus-less) store to word `index`, for preloading contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_word(&mut self, index: u32, value: u32) {
+        self.words[index as usize] = value;
+    }
+
+    /// Completed bus reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Completed bus writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    fn index(&self, offset: u32) -> Result<usize, BusError> {
+        let idx = (offset / 4) as usize;
+        if !offset.is_multiple_of(4) || idx >= self.words.len() {
+            Err(BusError::Slave { addr: offset })
+        } else {
+            Ok(idx)
+        }
+    }
+}
+
+impl ApbSlave for MemorySlave {
+    fn read(&mut self, offset: u32) -> Result<u32, BusError> {
+        let idx = self.index(offset)?;
+        self.reads += 1;
+        Ok(self.words[idx])
+    }
+
+    fn write(&mut self, offset: u32, value: u32) -> Result<(), BusError> {
+        let idx = self.index(offset)?;
+        self.writes += 1;
+        self.words[idx] = value;
+        Ok(())
+    }
+
+    fn wait_states(&self, _offset: u32, _dir: Dir) -> u32 {
+        self.wait_states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_rounds_up_to_words() {
+        let m = MemorySlave::new(5);
+        assert_eq!(m.size_bytes(), 8);
+    }
+
+    #[test]
+    fn misaligned_access_errors() {
+        let mut m = MemorySlave::new(16);
+        assert!(m.read(2).is_err());
+        assert!(m.write(7, 0).is_err());
+        assert_eq!(m.reads() + m.writes(), 0);
+    }
+
+    #[test]
+    fn out_of_range_access_errors() {
+        let mut m = MemorySlave::new(16);
+        assert!(m.read(16).is_err());
+        assert!(m.write(20, 1).is_err());
+    }
+
+    #[test]
+    fn counters_track_accesses() {
+        let mut m = MemorySlave::new(16);
+        m.write(0, 1).unwrap();
+        m.read(0).unwrap();
+        m.read(4).unwrap();
+        assert_eq!((m.reads(), m.writes()), (2, 1));
+    }
+
+    #[test]
+    fn preload_and_inspect() {
+        let mut m = MemorySlave::new(16);
+        m.set_word(3, 99);
+        assert_eq!(m.word(3), 99);
+        assert_eq!(m.read(12).unwrap(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero size")]
+    fn zero_size_panics() {
+        let _ = MemorySlave::new(0);
+    }
+}

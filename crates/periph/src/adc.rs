@@ -1,0 +1,259 @@
+//! On-chip ADC with event-triggered conversions.
+//!
+//! The paper's introduction motivates event linking with "a periodic timer
+//! overflow triggering an ADC conversion" — this peripheral is that
+//! consumer: a conversion can be started by a register write *or* by an
+//! incoming single-wire action line, and completion raises an event.
+
+use crate::sensor::Quantizer;
+use crate::traits::{PeriphCtx, Peripheral, RegAccessCounter};
+use pels_interconnect::{ApbSlave, BusError};
+use pels_sim::ActivityKind;
+use std::fmt;
+
+/// A successive-approximation-style ADC model with a fixed conversion
+/// latency in bus cycles.
+///
+/// ## Register map (byte offsets)
+///
+/// | offset | name     | access | function                            |
+/// |-------:|----------|--------|-------------------------------------|
+/// | 0x00   | `CTRL`   | WO     | bit0: start conversion              |
+/// | 0x04   | `STATUS` | RO     | bit0: sample ready, bit1: busy      |
+/// | 0x08   | `DATA`   | RO     | last sample; reading clears `ready` |
+///
+/// ## Event wiring
+///
+/// * [`Adc::wire_start_action`] — conversion starts when the line pulses;
+/// * [`Adc::wire_done_event`] — pulses when a conversion completes.
+pub struct Adc {
+    name: String,
+    quantizer: Quantizer,
+    conversion_cycles: u32,
+    countdown: u32,
+    data: u32,
+    ready: bool,
+    start_line: Option<u32>,
+    done_line: Option<u32>,
+    regs: RegAccessCounter,
+    conversions: u64,
+}
+
+impl fmt::Debug for Adc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Adc")
+            .field("name", &self.name)
+            .field("busy", &self.is_busy())
+            .field("ready", &self.ready)
+            .field("conversions", &self.conversions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Adc {
+    /// `CTRL` byte offset.
+    pub const CTRL: u32 = 0x00;
+    /// `STATUS` byte offset.
+    pub const STATUS: u32 = 0x04;
+    /// `DATA` byte offset.
+    pub const DATA: u32 = 0x08;
+
+    /// Creates an ADC digitizing `quantizer`, with the given conversion
+    /// latency in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conversion_cycles` is zero.
+    pub fn new(name: impl Into<String>, quantizer: Quantizer, conversion_cycles: u32) -> Self {
+        assert!(conversion_cycles > 0, "conversion latency must be non-zero");
+        Adc {
+            name: name.into(),
+            quantizer,
+            conversion_cycles,
+            countdown: 0,
+            data: 0,
+            ready: false,
+            start_line: None,
+            done_line: None,
+            regs: RegAccessCounter::default(),
+            conversions: 0,
+        }
+    }
+
+    /// Starts a conversion when `line` pulses (instant action).
+    pub fn wire_start_action(&mut self, line: u32) -> &mut Self {
+        self.start_line = Some(line);
+        self
+    }
+
+    /// Pulses `line` when a conversion completes.
+    pub fn wire_done_event(&mut self, line: u32) -> &mut Self {
+        self.done_line = Some(line);
+        self
+    }
+
+    /// Whether a conversion is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.countdown > 0
+    }
+
+    /// Completed conversions since construction.
+    pub fn conversions(&self) -> u64 {
+        self.conversions
+    }
+
+    fn start(&mut self) {
+        if !self.is_busy() {
+            self.countdown = self.conversion_cycles;
+        }
+    }
+}
+
+impl ApbSlave for Adc {
+    fn read(&mut self, offset: u32) -> Result<u32, BusError> {
+        self.regs.read();
+        match offset {
+            Self::STATUS => Ok(u32::from(self.ready) | (u32::from(self.is_busy()) << 1)),
+            Self::DATA => {
+                self.ready = false;
+                Ok(self.data)
+            }
+            _ => Err(BusError::Slave { addr: offset }),
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32) -> Result<(), BusError> {
+        self.regs.write();
+        match offset {
+            Self::CTRL => {
+                if value & 1 != 0 {
+                    self.start();
+                }
+                Ok(())
+            }
+            _ => Err(BusError::Slave { addr: offset }),
+        }
+    }
+}
+
+impl Peripheral for Adc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
+        if ctx.wired_high(self.start_line) {
+            self.start();
+        }
+        if !self.is_busy() {
+            return;
+        }
+        ctx.activity.record(&self.name, ActivityKind::ActiveCycle, 1);
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.data = self.quantizer.convert(ctx.time);
+            self.ready = true;
+            self.conversions += 1;
+            if let Some(line) = self.done_line {
+                let name = self.name.clone();
+                ctx.raise(line, &name, "done");
+            }
+        }
+    }
+
+    fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
+        let name = self.name.clone();
+        self.regs.drain(&name, into);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::{Constant, Quantizer};
+    use crate::testctx::Harness;
+    use pels_sim::EventVector;
+
+    fn adc_fixture() -> Adc {
+        let q = Quantizer::new(Box::new(Constant(3.3)), 12, 0.0, 3.3);
+        let mut a = Adc::new("adc", q, 4);
+        a.wire_done_event(11);
+        a.wire_start_action(2);
+        a
+    }
+
+    #[test]
+    fn conversion_completes_after_latency() {
+        let mut a = adc_fixture();
+        a.write(Adc::CTRL, 1).unwrap();
+        let mut h = Harness::new();
+        let out = h.run(&mut a, 3);
+        assert!(!out.is_set(11));
+        assert!(a.is_busy());
+        let out = h.run(&mut a, 1);
+        assert!(out.is_set(11));
+        assert_eq!(a.read(Adc::DATA).unwrap(), 4095);
+        assert_eq!(a.conversions(), 1);
+    }
+
+    #[test]
+    fn ready_clears_on_data_read() {
+        let mut a = adc_fixture();
+        a.write(Adc::CTRL, 1).unwrap();
+        let mut h = Harness::new();
+        h.run(&mut a, 4);
+        assert_eq!(a.read(Adc::STATUS).unwrap() & 1, 1);
+        let _ = a.read(Adc::DATA).unwrap();
+        assert_eq!(a.read(Adc::STATUS).unwrap() & 1, 0);
+    }
+
+    #[test]
+    fn action_line_triggers_conversion() {
+        let mut a = adc_fixture();
+        let mut h = Harness::new();
+        h.tick(&mut a, EventVector::mask_of(&[2]));
+        assert!(a.is_busy());
+        let out = h.run(&mut a, 3);
+        assert!(out.is_set(11));
+    }
+
+    #[test]
+    fn start_while_busy_is_ignored() {
+        let mut a = adc_fixture();
+        a.write(Adc::CTRL, 1).unwrap();
+        let mut h = Harness::new();
+        h.run(&mut a, 2);
+        a.write(Adc::CTRL, 1).unwrap(); // ignored
+        let out = h.run(&mut a, 2);
+        assert!(out.is_set(11));
+        assert_eq!(a.conversions(), 1);
+    }
+
+    #[test]
+    fn ctrl_without_start_bit_does_nothing() {
+        let mut a = adc_fixture();
+        a.write(Adc::CTRL, 0).unwrap();
+        assert!(!a.is_busy());
+    }
+
+    #[test]
+    fn unknown_offsets_error() {
+        let mut a = adc_fixture();
+        assert!(a.read(0x20).is_err());
+        assert!(a.write(Adc::DATA, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_latency_rejected() {
+        let q = Quantizer::new(Box::new(Constant(0.0)), 8, 0.0, 1.0);
+        let _ = Adc::new("adc", q, 0);
+    }
+}

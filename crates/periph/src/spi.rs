@@ -1,0 +1,428 @@
+//! SPI master with built-in µDMA RX channel.
+//!
+//! The sensor front-end of the paper's evaluation workload: "I/O
+//! DMA-managed sensor readout through the SPI interface" (Section IV-B). A
+//! transfer shifts words from an attached [`SpiDevice`] (the digitized
+//! sensor), lands them in the RX FIFO and — when armed — streams them to L2
+//! through the embedded µDMA channel, then pulses **end-of-transfer**: the
+//! event PELS (or the Ibex interrupt path) links on.
+
+use crate::sensor::Quantizer;
+use crate::traits::{PeriphCtx, Peripheral, RegAccessCounter};
+use crate::udma::UdmaChannel;
+use pels_interconnect::{ApbSlave, BusError};
+use pels_sim::{ActivityKind, Fifo, SimTime};
+use std::fmt;
+
+/// The device on the other end of the SPI bus.
+pub trait SpiDevice {
+    /// Full-duplex word exchange at simulation time `time`.
+    fn transfer(&mut self, mosi: u32, time: SimTime) -> u32;
+}
+
+/// A quantized analog sensor is the canonical SPI device of the paper's
+/// workload: each exchanged word is the current ADC code.
+impl SpiDevice for Quantizer {
+    fn transfer(&mut self, _mosi: u32, time: SimTime) -> u32 {
+        self.convert(time)
+    }
+}
+
+/// An SPI device replaying a fixed word sequence (repeats the last word).
+#[derive(Debug, Clone)]
+pub struct ReplayDevice {
+    words: Vec<u32>,
+    pos: usize,
+}
+
+impl ReplayDevice {
+    /// Creates a device that answers with `words` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty.
+    pub fn new(words: Vec<u32>) -> Self {
+        assert!(!words.is_empty(), "replay device needs at least one word");
+        ReplayDevice { words, pos: 0 }
+    }
+}
+
+impl SpiDevice for ReplayDevice {
+    fn transfer(&mut self, _mosi: u32, _time: SimTime) -> u32 {
+        let w = self.words[self.pos];
+        if self.pos + 1 < self.words.len() {
+            self.pos += 1;
+        }
+        w
+    }
+}
+
+/// SPI master peripheral.
+///
+/// ## Register map (byte offsets)
+///
+/// | offset | name        | access | function                                  |
+/// |-------:|-------------|--------|-------------------------------------------|
+/// | 0x00   | `STATUS`    | RO     | bit0 busy, bits\[15:8\] RX FIFO level     |
+/// | 0x04   | `CMD`       | WO     | start a transfer of N words               |
+/// | 0x08   | `DATA`      | RO     | pop RX FIFO (0 when empty)                |
+/// | 0x0C   | `CLKDIV`    | RW     | bus-clock cycles per word (≥1)            |
+/// | 0x10   | `UDMA_SADDR`| RW     | µDMA RX target address in L2              |
+/// | 0x14   | `UDMA_SIZE` | WO     | arm µDMA RX channel with N bytes          |
+/// | 0x18   | `LAST`      | RO     | most recent received word (no side effect)|
+/// | 0x1C   | `UDMA_CFG`  | RW     | bit 0: continuous (ring-buffer) µDMA mode |
+///
+/// `LAST` exists so a PELS `capture` can read the newest sample without
+/// perturbing FIFO state — the access pattern of the paper's Figure 3.
+///
+/// ## Event wiring
+///
+/// * [`Spi::wire_eot_event`] — pulses on end-of-transfer;
+/// * [`Spi::wire_udma_done_event`] — pulses when the µDMA buffer completes;
+/// * [`Spi::wire_start_action`] — an incoming pulse starts a transfer of
+///   the most recent `CMD` length (instant-action start).
+pub struct Spi {
+    name: String,
+    device: Box<dyn SpiDevice>,
+    clkdiv: u32,
+    words_remaining: u32,
+    cycle_in_word: u32,
+    last_len: u32,
+    last_word: u32,
+    rx_fifo: Fifo<u32>,
+    udma: UdmaChannel,
+    udma_saddr: u32,
+    eot_line: Option<u32>,
+    udma_done_line: Option<u32>,
+    start_line: Option<u32>,
+    regs: RegAccessCounter,
+    words_done: u64,
+}
+
+impl fmt::Debug for Spi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Spi")
+            .field("name", &self.name)
+            .field("busy", &self.is_busy())
+            .field("words_remaining", &self.words_remaining)
+            .field("clkdiv", &self.clkdiv)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Spi {
+    /// `STATUS` byte offset.
+    pub const STATUS: u32 = 0x00;
+    /// `CMD` byte offset.
+    pub const CMD: u32 = 0x04;
+    /// `DATA` byte offset.
+    pub const DATA: u32 = 0x08;
+    /// `CLKDIV` byte offset.
+    pub const CLKDIV: u32 = 0x0C;
+    /// `UDMA_SADDR` byte offset.
+    pub const UDMA_SADDR: u32 = 0x10;
+    /// `UDMA_SIZE` byte offset.
+    pub const UDMA_SIZE: u32 = 0x14;
+    /// `LAST` byte offset.
+    pub const LAST: u32 = 0x18;
+    /// `UDMA_CFG` byte offset (bit 0: continuous/ring mode).
+    pub const UDMA_CFG: u32 = 0x1C;
+
+    /// Creates an SPI master attached to `device`, 8 cycles/word, RX FIFO
+    /// depth 8.
+    pub fn new(name: impl Into<String>, device: Box<dyn SpiDevice>) -> Self {
+        Spi {
+            name: name.into(),
+            device,
+            clkdiv: 8,
+            words_remaining: 0,
+            cycle_in_word: 0,
+            last_len: 1,
+            last_word: 0,
+            rx_fifo: Fifo::new(8),
+            udma: UdmaChannel::new(),
+            udma_saddr: 0,
+            eot_line: None,
+            udma_done_line: None,
+            start_line: None,
+            regs: RegAccessCounter::default(),
+            words_done: 0,
+        }
+    }
+
+    /// Pulses `line` at end-of-transfer.
+    pub fn wire_eot_event(&mut self, line: u32) -> &mut Self {
+        self.eot_line = Some(line);
+        self
+    }
+
+    /// Pulses `line` when the armed µDMA buffer completes.
+    pub fn wire_udma_done_event(&mut self, line: u32) -> &mut Self {
+        self.udma_done_line = Some(line);
+        self
+    }
+
+    /// Starts a transfer (of the last `CMD` length) when `line` pulses.
+    pub fn wire_start_action(&mut self, line: u32) -> &mut Self {
+        self.start_line = Some(line);
+        self
+    }
+
+    /// Presets the word count used by action-line starts without
+    /// triggering a transfer (configuration convenience; over the bus the
+    /// same effect needs a `CMD` write, which also starts one transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn set_default_len(&mut self, words: u32) -> &mut Self {
+        assert!(words > 0, "transfer length must be non-zero");
+        self.last_len = words;
+        self
+    }
+
+    /// Whether a transfer is in progress.
+    pub fn is_busy(&self) -> bool {
+        self.words_remaining > 0
+    }
+
+    /// Most recent received word.
+    pub fn last_word(&self) -> u32 {
+        self.last_word
+    }
+
+    /// Words shifted since construction.
+    pub fn words_done(&self) -> u64 {
+        self.words_done
+    }
+
+    /// RX FIFO occupancy.
+    pub fn rx_level(&self) -> usize {
+        self.rx_fifo.len()
+    }
+
+    fn start(&mut self, words: u32) {
+        self.words_remaining = words;
+        self.cycle_in_word = 0;
+    }
+}
+
+impl ApbSlave for Spi {
+    fn read(&mut self, offset: u32) -> Result<u32, BusError> {
+        self.regs.read();
+        match offset {
+            Self::STATUS => {
+                Ok(u32::from(self.is_busy()) | ((self.rx_fifo.len() as u32) << 8))
+            }
+            Self::DATA => Ok(self.rx_fifo.pop().unwrap_or(0)),
+            Self::CLKDIV => Ok(self.clkdiv),
+            Self::UDMA_SADDR => Ok(self.udma_saddr),
+            Self::UDMA_CFG => Ok(u32::from(self.udma.is_continuous())),
+            Self::LAST => Ok(self.last_word),
+            _ => Err(BusError::Slave { addr: offset }),
+        }
+    }
+
+    fn write(&mut self, offset: u32, value: u32) -> Result<(), BusError> {
+        self.regs.write();
+        match offset {
+            Self::CMD => {
+                if value == 0 {
+                    return Err(BusError::Slave { addr: offset });
+                }
+                self.last_len = value;
+                self.start(value);
+            }
+            Self::CLKDIV => {
+                if value == 0 {
+                    return Err(BusError::Slave { addr: offset });
+                }
+                self.clkdiv = value;
+            }
+            Self::UDMA_SADDR => self.udma_saddr = value,
+            Self::UDMA_CFG => self.udma.set_continuous(value & 1 != 0),
+            Self::UDMA_SIZE => self.udma.configure(self.udma_saddr, value),
+            _ => return Err(BusError::Slave { addr: offset }),
+        }
+        Ok(())
+    }
+}
+
+impl Peripheral for Spi {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
+        if ctx.wired_high(self.start_line) && !self.is_busy() {
+            self.start(self.last_len);
+            ctx.trace
+                .record(ctx.time, &self.name, "start", u64::from(self.last_len));
+        }
+        if !self.is_busy() {
+            return;
+        }
+        ctx.activity.record(&self.name, ActivityKind::ActiveCycle, 1);
+        self.cycle_in_word += 1;
+        if self.cycle_in_word < self.clkdiv {
+            return;
+        }
+        // One word completes this cycle.
+        self.cycle_in_word = 0;
+        let word = self.device.transfer(0, ctx.time);
+        self.last_word = word;
+        self.words_done += 1;
+        if self.udma.is_active() {
+            self.udma.push_word(word, ctx.l2);
+            if self.udma.take_done() {
+                if let Some(line) = self.udma_done_line {
+                    let name = self.name.clone();
+                    ctx.raise(line, &name, "udma_done");
+                }
+            }
+        } else {
+            let _ = self.rx_fifo.push(word);
+        }
+        self.words_remaining -= 1;
+        if self.words_remaining == 0 {
+            if let Some(line) = self.eot_line {
+                let name = self.name.clone();
+                ctx.raise(line, &name, "eot");
+            }
+        }
+    }
+
+    fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
+        let name = self.name.clone();
+        self.regs.drain(&name, into);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testctx::Harness;
+    use pels_sim::EventVector;
+
+    fn spi_with(words: Vec<u32>) -> Spi {
+        let mut s = Spi::new("spi", Box::new(ReplayDevice::new(words)));
+        s.wire_eot_event(3);
+        s
+    }
+
+    #[test]
+    fn transfer_takes_clkdiv_cycles_per_word() {
+        let mut s = spi_with(vec![0xAB]);
+        s.write(Spi::CMD, 1).unwrap();
+        let mut h = Harness::new();
+        let out = h.run(&mut s, 7);
+        assert!(!out.is_set(3), "not done before 8 cycles");
+        let out = h.run(&mut s, 1);
+        assert!(out.is_set(3), "EOT on the 8th cycle");
+        assert!(!s.is_busy());
+        assert_eq!(s.last_word(), 0xAB);
+    }
+
+    #[test]
+    fn words_land_in_rx_fifo_without_dma() {
+        let mut s = spi_with(vec![1, 2, 3]);
+        s.write(Spi::CMD, 3).unwrap();
+        let mut h = Harness::new();
+        h.run(&mut s, 24);
+        assert_eq!(s.rx_level(), 3);
+        assert_eq!(s.read(Spi::DATA).unwrap(), 1);
+        assert_eq!(s.read(Spi::DATA).unwrap(), 2);
+        assert_eq!(s.read(Spi::DATA).unwrap(), 3);
+        assert_eq!(s.read(Spi::DATA).unwrap(), 0); // empty reads as 0
+    }
+
+    #[test]
+    fn udma_streams_to_l2_and_pulses_done() {
+        let mut s = spi_with(vec![0x11, 0x22]);
+        s.wire_udma_done_event(4);
+        s.write(Spi::UDMA_SADDR, 0x40).unwrap();
+        s.write(Spi::UDMA_SIZE, 8).unwrap();
+        s.write(Spi::CMD, 2).unwrap();
+        let mut h = Harness::new();
+        let out = h.run(&mut s, 16);
+        assert!(out.is_set(3), "eot");
+        assert!(out.is_set(4), "udma done");
+        assert_eq!(h.l2.peek_word(0x40), 0x11);
+        assert_eq!(h.l2.peek_word(0x44), 0x22);
+        assert_eq!(s.rx_level(), 0, "dma path bypasses the fifo");
+    }
+
+    #[test]
+    fn action_line_starts_transfer() {
+        let mut s = spi_with(vec![9]);
+        s.wire_start_action(7);
+        s.write(Spi::CMD, 1).unwrap();
+        let mut h = Harness::new();
+        h.run(&mut s, 8); // finish the CMD transfer
+        assert!(!s.is_busy());
+        h.tick(&mut s, EventVector::mask_of(&[7]));
+        assert!(s.is_busy());
+        let out = h.run(&mut s, 8);
+        assert!(out.is_set(3));
+        assert_eq!(s.words_done(), 2);
+    }
+
+    #[test]
+    fn status_reflects_busy_and_fifo_level() {
+        let mut s = spi_with(vec![5]);
+        s.write(Spi::CMD, 1).unwrap();
+        assert_eq!(s.read(Spi::STATUS).unwrap() & 1, 1);
+        let mut h = Harness::new();
+        h.run(&mut s, 8);
+        let st = s.read(Spi::STATUS).unwrap();
+        assert_eq!(st & 1, 0);
+        assert_eq!((st >> 8) & 0xFF, 1);
+    }
+
+    #[test]
+    fn last_register_reads_without_popping() {
+        let mut s = spi_with(vec![42]);
+        s.write(Spi::CMD, 1).unwrap();
+        let mut h = Harness::new();
+        h.run(&mut s, 8);
+        assert_eq!(s.read(Spi::LAST).unwrap(), 42);
+        assert_eq!(s.read(Spi::LAST).unwrap(), 42);
+        assert_eq!(s.rx_level(), 1);
+    }
+
+    #[test]
+    fn zero_cmd_and_clkdiv_rejected() {
+        let mut s = spi_with(vec![1]);
+        assert!(s.write(Spi::CMD, 0).is_err());
+        assert!(s.write(Spi::CLKDIV, 0).is_err());
+    }
+
+    #[test]
+    fn faster_clkdiv_shortens_words() {
+        let mut s = spi_with(vec![1, 2]);
+        s.write(Spi::CLKDIV, 2).unwrap();
+        s.write(Spi::CMD, 2).unwrap();
+        let mut h = Harness::new();
+        let out = h.run(&mut s, 4);
+        assert!(out.is_set(3));
+    }
+
+    #[test]
+    fn quantizer_as_spi_device() {
+        use crate::sensor::{Constant, Quantizer};
+        let q = Quantizer::new(Box::new(Constant(3.3)), 12, 0.0, 3.3);
+        let mut s = Spi::new("spi", Box::new(q));
+        s.wire_eot_event(3);
+        s.write(Spi::CMD, 1).unwrap();
+        let mut h = Harness::new();
+        h.run(&mut s, 8);
+        assert_eq!(s.last_word(), 4095);
+    }
+}

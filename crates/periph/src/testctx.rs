@@ -1,0 +1,51 @@
+//! Shared unit-test harness: drives a single peripheral cycle-by-cycle
+//! with a synthetic [`PeriphCtx`].
+
+use crate::l2::L2Memory;
+use crate::traits::{PeriphCtx, Peripheral};
+use pels_sim::{ActivitySet, EventVector, Frequency, SimTime, Trace};
+
+pub(crate) struct Harness {
+    pub l2: L2Memory,
+    pub activity: ActivitySet,
+    pub trace: Trace,
+    pub cycle: u64,
+    pub period: SimTime,
+}
+
+impl Harness {
+    pub fn new() -> Self {
+        Harness {
+            l2: L2Memory::new(4096),
+            activity: ActivitySet::new(),
+            trace: Trace::new(),
+            cycle: 0,
+            period: Frequency::from_mhz(55.0).period(),
+        }
+    }
+
+    /// Ticks `p` once with `events_in`; returns the pulses it raised.
+    pub fn tick(&mut self, p: &mut dyn Peripheral, events_in: EventVector) -> EventVector {
+        let mut ctx = PeriphCtx {
+            cycle: self.cycle,
+            time: SimTime::from_ps(self.period.as_ps() * self.cycle),
+            events_in,
+            events_out: EventVector::EMPTY,
+            l2: &mut self.l2,
+            activity: &mut self.activity,
+            trace: &mut self.trace,
+        };
+        p.tick(&mut ctx);
+        self.cycle += 1;
+        ctx.events_out
+    }
+
+    /// Ticks `n` times with no input events, ORing all pulses raised.
+    pub fn run(&mut self, p: &mut dyn Peripheral, n: u64) -> EventVector {
+        let mut out = EventVector::EMPTY;
+        for _ in 0..n {
+            out |= self.tick(p, EventVector::EMPTY);
+        }
+        out
+    }
+}

@@ -1,0 +1,168 @@
+//! The peripheral contract and per-cycle context.
+
+use crate::l2::L2Memory;
+use pels_interconnect::ApbSlave;
+use pels_sim::{ActivitySet, EventVector, SimTime, Trace};
+
+/// Everything a peripheral can see and touch during one clock cycle.
+///
+/// The SoC harness constructs one `PeriphCtx` per cycle and threads it
+/// through every peripheral's [`Peripheral::tick`]:
+///
+/// * [`PeriphCtx::events_in`] carries the event wires sampled at the start
+///   of the cycle — PELS action lines and peripheral pulses from the
+///   previous cycle (event outputs are registered, as in the RTL);
+/// * pulses raised via [`PeriphCtx::raise`] become visible to PELS in this
+///   same cycle (PELS's trigger units sample after the peripherals run) and
+///   to other peripherals in the next one;
+/// * [`PeriphCtx::l2`] is the shared L2 scratchpad the µDMA channels land
+///   sensor data in.
+pub struct PeriphCtx<'a> {
+    /// Bus-clock cycle index.
+    pub cycle: u64,
+    /// Absolute simulation time at this cycle's edge.
+    pub time: SimTime,
+    /// Sampled incoming event wires.
+    pub events_in: EventVector,
+    /// Pulses raised during this cycle (accumulated across peripherals).
+    pub events_out: EventVector,
+    /// The L2 memory µDMA channels transfer to/from.
+    pub l2: &'a mut L2Memory,
+    /// Switching-activity sink.
+    pub activity: &'a mut ActivitySet,
+    /// Event trace for latency measurements.
+    pub trace: &'a mut Trace,
+}
+
+impl<'a> PeriphCtx<'a> {
+    /// Raises an event pulse on global line `line` and records it both in
+    /// the trace (as `source.label`) and as switching activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    pub fn raise(&mut self, line: u32, source: &str, label: &str) {
+        self.events_out.set(line);
+        self.trace.record(self.time, source, label, u64::from(line));
+        self.activity
+            .record(source, pels_sim::ActivityKind::EventPulse, 1);
+    }
+
+    /// Whether incoming event wire `line` is active this cycle. `None`
+    /// lines (unwired) read as inactive.
+    pub fn wired_high(&self, line: Option<u32>) -> bool {
+        line.map(|l| self.events_in.is_set(l)).unwrap_or(false)
+    }
+}
+
+/// A memory-mapped peripheral participating in the event system.
+///
+/// Implementors are APB slaves (the *sequenced action* interface) and are
+/// ticked once per cycle (the *instant action* interface plus any internal
+/// behaviour: counters, shift registers, µDMA engines, ...).
+pub trait Peripheral: ApbSlave {
+    /// Stable instance name used in traces and activity reports.
+    fn name(&self) -> &str;
+
+    /// Advances the peripheral by one clock cycle.
+    fn tick(&mut self, ctx: &mut PeriphCtx<'_>);
+
+    /// Harvests internally counted activity (register-file accesses
+    /// observed through the APB interface since the last drain).
+    fn drain_activity(&mut self, into: &mut ActivitySet);
+
+    /// Concrete-type access for harnesses holding peripherals as trait
+    /// objects.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable concrete-type access.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Small helper all peripherals use to count their APB register accesses;
+/// drained into the global [`ActivitySet`] once per measurement window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegAccessCounter {
+    /// Register reads observed.
+    pub reads: u64,
+    /// Register writes observed.
+    pub writes: u64,
+}
+
+impl RegAccessCounter {
+    /// Counts a register read.
+    pub fn read(&mut self) {
+        self.reads += 1;
+    }
+
+    /// Counts a register write.
+    pub fn write(&mut self) {
+        self.writes += 1;
+    }
+
+    /// Drains the counts into `into` under `component`.
+    pub fn drain(&mut self, component: &str, into: &mut ActivitySet) {
+        into.record(component, pels_sim::ActivityKind::RegRead, self.reads);
+        into.record(component, pels_sim::ActivityKind::RegWrite, self.writes);
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_fixture<'a>(
+        l2: &'a mut L2Memory,
+        activity: &'a mut ActivitySet,
+        trace: &'a mut Trace,
+    ) -> PeriphCtx<'a> {
+        PeriphCtx {
+            cycle: 0,
+            time: SimTime::ZERO,
+            events_in: EventVector::mask_of(&[5]),
+            events_out: EventVector::EMPTY,
+            l2,
+            activity,
+            trace,
+        }
+    }
+
+    #[test]
+    fn raise_sets_line_and_traces() {
+        let mut l2 = L2Memory::new(64);
+        let mut act = ActivitySet::new();
+        let mut trace = Trace::new();
+        let mut ctx = ctx_fixture(&mut l2, &mut act, &mut trace);
+        ctx.raise(7, "spi", "eot");
+        assert!(ctx.events_out.is_set(7));
+        assert!(trace.first("spi", "eot").is_some());
+        assert_eq!(act.count("spi", pels_sim::ActivityKind::EventPulse), 1);
+    }
+
+    #[test]
+    fn wired_high_handles_unwired_lines() {
+        let mut l2 = L2Memory::new(64);
+        let mut act = ActivitySet::new();
+        let mut trace = Trace::new();
+        let ctx = ctx_fixture(&mut l2, &mut act, &mut trace);
+        assert!(ctx.wired_high(Some(5)));
+        assert!(!ctx.wired_high(Some(6)));
+        assert!(!ctx.wired_high(None));
+    }
+
+    #[test]
+    fn reg_counter_drains_and_resets() {
+        let mut c = RegAccessCounter::default();
+        c.read();
+        c.read();
+        c.write();
+        let mut act = ActivitySet::new();
+        c.drain("gpio", &mut act);
+        assert_eq!(act.count("gpio", pels_sim::ActivityKind::RegRead), 2);
+        assert_eq!(act.count("gpio", pels_sim::ActivityKind::RegWrite), 1);
+        assert_eq!(c.reads, 0);
+        assert_eq!(c.writes, 0);
+    }
+}

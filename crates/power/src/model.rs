@@ -1,0 +1,332 @@
+//! The activity → power model.
+
+use crate::calibration::Calibration;
+use crate::units::{Energy, Power};
+use pels_sim::{ActivityKind, ActivitySet, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Power attributed to one component over the measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentPower {
+    /// Component name (matches the activity-set names).
+    pub name: String,
+    /// Activity-driven (dynamic) power, including clock tree.
+    pub dynamic: Power,
+    /// Leakage share.
+    pub leakage: Power,
+}
+
+impl ComponentPower {
+    /// Dynamic + leakage.
+    pub fn total(&self) -> Power {
+        self.dynamic + self.leakage
+    }
+}
+
+/// The result of evaluating a measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    window: SimTime,
+    components: Vec<ComponentPower>,
+    constant: Power,
+    kind_energy: BTreeMap<ActivityKind, Energy>,
+}
+
+impl PowerReport {
+    /// The measurement window.
+    pub fn window(&self) -> SimTime {
+        self.window
+    }
+
+    /// Per-component shares, sorted descending by total power.
+    pub fn components(&self) -> &[ComponentPower] {
+        &self.components
+    }
+
+    /// The frequency-independent analog floor (FLLs, bias).
+    pub fn constant(&self) -> Power {
+        self.constant
+    }
+
+    /// A component's share, if present.
+    pub fn component(&self, name: &str) -> Option<&ComponentPower> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Total SoC power: components + analog floor.
+    pub fn total(&self) -> Power {
+        self.components.iter().map(ComponentPower::total).sum::<Power>() + self.constant
+    }
+
+    /// Power attributable to the memory system: SRAM and SCM access
+    /// energy plus the SRAM component's clock/leakage share — the
+    /// quantity behind the paper's 3.7×/4.3× comparison.
+    pub fn memory_system(&self) -> Power {
+        let access: Energy = [
+            ActivityKind::SramRead,
+            ActivityKind::SramWrite,
+            ActivityKind::ScmRead,
+            ActivityKind::ScmWrite,
+        ]
+        .iter()
+        .filter_map(|k| self.kind_energy.get(k).copied())
+        .sum();
+        let sram_static = self
+            .component("sram")
+            .map(|c| c.leakage + self.clockless_dynamic_of("sram"))
+            .unwrap_or(Power::ZERO);
+        access.over(self.window) + sram_static
+    }
+
+    /// The clock-tree part of a component's dynamic power.
+    fn clockless_dynamic_of(&self, name: &str) -> Power {
+        // For the SRAM, dynamic = access energy + clock; access energy is
+        // already reported via kind_energy, so return dynamic minus the
+        // access part to avoid double counting.
+        let Some(c) = self.component(name) else {
+            return Power::ZERO;
+        };
+        let access: Energy = [ActivityKind::SramRead, ActivityKind::SramWrite]
+            .iter()
+            .filter_map(|k| self.kind_energy.get(k).copied())
+            .sum();
+        let access_p = access.over(self.window);
+        if c.dynamic.as_uw() > access_p.as_uw() {
+            Power::from_uw(c.dynamic.as_uw() - access_p.as_uw())
+        } else {
+            Power::ZERO
+        }
+    }
+
+    /// Energy charged to an activity kind over the window.
+    pub fn kind_energy(&self, kind: ActivityKind) -> Energy {
+        self.kind_energy.get(&kind).copied().unwrap_or(Energy::ZERO)
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "power over {} (total {}):", self.window, self.total())?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "  {:<18} dyn {:>12}  leak {:>12}",
+                c.name,
+                c.dynamic.to_string(),
+                c.leakage.to_string()
+            )?;
+        }
+        writeln!(f, "  {:<18} {:>12}", "analog floor", self.constant.to_string())
+    }
+}
+
+/// The model: a calibration plus the SoC's component inventory (areas in
+/// kGE drive clock-tree energy and leakage shares).
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    calibration: Calibration,
+    areas: BTreeMap<String, f64>,
+}
+
+impl PowerModel {
+    /// Creates a model with the given calibration and no components.
+    pub fn new(calibration: Calibration) -> Self {
+        PowerModel {
+            calibration,
+            areas: BTreeMap::new(),
+        }
+    }
+
+    /// The calibration in use.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Registers a component and its logic area. Components appearing in
+    /// the activity set without registration contribute event energy but
+    /// no clock/leakage share.
+    pub fn add_component(&mut self, name: impl Into<String>, area_kge: f64) -> &mut Self {
+        self.areas.insert(name.into(), area_kge);
+        self
+    }
+
+    /// Evaluates a measurement window.
+    ///
+    /// `activity` must contain a [`ActivityKind::ClockCycle`] entry per
+    /// clocked component (the SoC harness records one per cycle the
+    /// component's clock was running — WFI-gated components record
+    /// none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn report(&self, activity: &ActivitySet, window: SimTime) -> PowerReport {
+        assert!(window.as_ps() > 0, "window must be non-zero");
+        let mut per_component: BTreeMap<String, Energy> = BTreeMap::new();
+        let mut kind_energy: BTreeMap<ActivityKind, Energy> = BTreeMap::new();
+
+        for (component, kind, n) in activity.iter() {
+            let e = if kind == ActivityKind::ClockCycle {
+                let area = self.areas.get(component).copied().unwrap_or(0.0);
+                self.calibration.clock_energy(area, n)
+            } else {
+                self.calibration.event_energy(kind, n)
+            };
+            *per_component
+                .entry(component.to_owned())
+                .or_insert(Energy::ZERO) += e;
+            *kind_energy.entry(kind).or_insert(Energy::ZERO) += e;
+        }
+
+        // Every registered component leaks whether active or not.
+        let mut components: Vec<ComponentPower> = Vec::new();
+        let mut named: std::collections::BTreeSet<String> =
+            per_component.keys().cloned().collect();
+        named.extend(self.areas.keys().cloned());
+        for name in named {
+            let dynamic = per_component
+                .get(&name)
+                .copied()
+                .unwrap_or(Energy::ZERO)
+                .over(window);
+            let mut leakage = self
+                .calibration
+                .logic_leakage(self.areas.get(&name).copied().unwrap_or(0.0));
+            if name == "sram" {
+                leakage += Power::from_uw(self.calibration.sram_leak_uw);
+            }
+            components.push(ComponentPower {
+                name,
+                dynamic,
+                leakage,
+            });
+        }
+        components.sort_by(|a, b| {
+            b.total()
+                .as_uw()
+                .partial_cmp(&a.total().as_uw())
+                .expect("power values are finite")
+        });
+
+        PowerReport {
+            window,
+            components,
+            constant: Power::from_uw(self.calibration.p_const_uw),
+            kind_energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        let mut m = PowerModel::new(Calibration::default());
+        m.add_component("ibex", 27.0)
+            .add_component("sram", 200.0)
+            .add_component("pels.link0", 5.0);
+        m
+    }
+
+    fn window() -> SimTime {
+        SimTime::from_us(10)
+    }
+
+    #[test]
+    fn empty_activity_still_leaks() {
+        let m = model();
+        let r = m.report(&ActivitySet::new(), window());
+        let total = r.total().as_uw();
+        let floor = m.calibration().p_const_uw
+            + m.calibration().sram_leak_uw
+            + m.calibration().leak_uw_per_kge * (27.0 + 200.0 + 5.0);
+        assert!((total - floor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_cycles_scale_with_area() {
+        let m = model();
+        let mut small = ActivitySet::new();
+        small.record("pels.link0", ActivityKind::ClockCycle, 1000);
+        let mut big = ActivitySet::new();
+        big.record("ibex", ActivityKind::ClockCycle, 1000);
+        let rs = m.report(&small, window());
+        let rb = m.report(&big, window());
+        let ds = rs.component("pels.link0").unwrap().dynamic.as_uw();
+        let db = rb.component("ibex").unwrap().dynamic.as_uw();
+        assert!((db / ds - 27.0 / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unregistered_component_contributes_event_energy_only() {
+        let m = model();
+        let mut a = ActivitySet::new();
+        a.record("mystery", ActivityKind::BusTransfer, 100);
+        a.record("mystery", ActivityKind::ClockCycle, 1000);
+        let r = m.report(&a, window());
+        let c = r.component("mystery").unwrap();
+        assert!(c.dynamic.as_uw() > 0.0, "event energy counted");
+        assert_eq!(c.leakage.as_uw(), 0.0, "no area, no leakage");
+        // ClockCycle with area 0 contributes nothing.
+        let expected = m
+            .calibration()
+            .event_energy(ActivityKind::BusTransfer, 100)
+            .over(window());
+        assert!((c.dynamic.as_uw() - expected.as_uw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_system_power_tracks_sram_accesses() {
+        let m = model();
+        let mut quiet = ActivitySet::new();
+        quiet.record("ibex", ActivityKind::InstrRetired, 100);
+        let mut busy = quiet.clone();
+        busy.record("sram", ActivityKind::SramRead, 10_000);
+        let rq = m.report(&quiet, window());
+        let rb = m.report(&busy, window());
+        assert!(rb.memory_system().as_uw() > rq.memory_system().as_uw());
+        // The non-memory parts are unchanged.
+        assert!(
+            (rb.component("ibex").unwrap().total().as_uw()
+                - rq.component("ibex").unwrap().total().as_uw())
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn report_is_displayable_and_sorted() {
+        let m = model();
+        let mut a = ActivitySet::new();
+        a.record("ibex", ActivityKind::SramRead, 1); // attributed to ibex name
+        let r = m.report(&a, window());
+        let s = r.to_string();
+        assert!(s.contains("analog floor"));
+        let totals: Vec<f64> = r.components().iter().map(|c| c.total().as_uw()).collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn kind_energy_accessible() {
+        let m = model();
+        let mut a = ActivitySet::new();
+        a.record("sram", ActivityKind::SramRead, 5);
+        let r = m.report(&a, window());
+        assert!(
+            (r.kind_energy(ActivityKind::SramRead).as_pj()
+                - 5.0 * m.calibration().e_sram_read_pj)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(r.kind_energy(ActivityKind::ScmRead).as_pj(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_rejected() {
+        let m = model();
+        let _ = m.report(&ActivitySet::new(), SimTime::ZERO);
+    }
+}

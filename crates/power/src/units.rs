@@ -1,0 +1,240 @@
+//! Energy and power quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul};
+
+use pels_sim::SimTime;
+
+/// An energy amount in picojoules.
+///
+/// ```
+/// use pels_power::Energy;
+/// use pels_sim::SimTime;
+/// let e = Energy::from_pj(500.0);
+/// let p = e.over(SimTime::from_us(1));
+/// assert!((p.as_uw() - 500.0).abs() < 1e-9); // 500 pJ / 1 us = 500 uW
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from picojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or negative values.
+    pub fn from_pj(pj: f64) -> Self {
+        assert!(pj.is_finite() && pj >= 0.0, "energy must be finite and >= 0");
+        Energy(pj)
+    }
+
+    /// The value in picojoules.
+    pub fn as_pj(self) -> f64 {
+        self.0
+    }
+
+    /// The value in nanojoules.
+    pub fn as_nj(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Average power when spread over `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn over(self, window: SimTime) -> Power {
+        assert!(window.as_ps() > 0, "window must be non-zero");
+        // pJ / ps = W; convert to µW.
+        Power::from_uw(self.0 / window.as_ps() as f64 * 1e6)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: u64) -> Energy {
+        Energy(self.0 * rhs as f64)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e3 {
+            write!(f, "{:.3} nJ", self.as_nj())
+        } else {
+            write!(f, "{:.3} pJ", self.0)
+        }
+    }
+}
+
+/// A power amount in microwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power from microwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or negative values.
+    pub fn from_uw(uw: f64) -> Self {
+        assert!(uw.is_finite() && uw >= 0.0, "power must be finite and >= 0");
+        Power(uw)
+    }
+
+    /// The value in microwatts.
+    pub fn as_uw(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliwatts.
+    pub fn as_mw(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Energy consumed over `window` at this power.
+    pub fn for_window(self, window: SimTime) -> Energy {
+        // µW × ps = 1e-6 J/s × 1e-12 s = 1e-18 J = 1e-6 pJ.
+        Energy::from_pj(self.0 * window.as_ps() as f64 * 1e-6)
+    }
+
+    /// Dimensionless ratio `self / other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn ratio_to(self, other: Power) -> f64 {
+        assert!(other.0 > 0.0, "cannot take a ratio to zero power");
+        self.0 / other.0
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Div<Power> for Power {
+    type Output = f64;
+    fn div(self, rhs: Power) -> f64 {
+        self.ratio_to(rhs)
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e3 {
+            write!(f, "{:.3} mW", self.as_mw())
+        } else {
+            write!(f, "{:.3} uW", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_power_conversions_roundtrip() {
+        let e = Energy::from_pj(1000.0);
+        let w = SimTime::from_us(2);
+        let p = e.over(w);
+        assert!((p.as_uw() - 500.0).abs() < 1e-9); // 1 nJ / 2 us = 500 uW
+        let back = p.for_window(w);
+        assert!((back.as_pj() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_pj(1.0) + Energy::from_pj(2.0);
+        assert_eq!(a.as_pj(), 3.0);
+        let s: Energy = [Energy::from_pj(1.0); 4].into_iter().sum();
+        assert_eq!(s.as_pj(), 4.0);
+        let p = Power::from_uw(10.0) * 2.5;
+        assert_eq!(p.as_uw(), 25.0);
+        assert_eq!(Energy::from_pj(2.0) * 3u64, Energy::from_pj(6.0));
+    }
+
+    #[test]
+    fn ratio_and_div() {
+        let a = Power::from_uw(50.0);
+        let b = Power::from_uw(20.0);
+        assert!((a.ratio_to(b) - 2.5).abs() < 1e-12);
+        assert!((a / b - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Energy::from_pj(1.5).to_string(), "1.500 pJ");
+        assert_eq!(Energy::from_pj(1500.0).to_string(), "1.500 nJ");
+        assert_eq!(Power::from_uw(999.0).to_string(), "999.000 uW");
+        assert_eq!(Power::from_uw(1500.0).to_string(), "1.500 mW");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_energy_rejected() {
+        let _ = Energy::from_pj(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero power")]
+    fn zero_ratio_rejected() {
+        let _ = Power::from_uw(1.0).ratio_to(Power::ZERO);
+    }
+}

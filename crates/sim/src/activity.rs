@@ -1,0 +1,271 @@
+//! Switching-activity accounting.
+//!
+//! The paper estimates power with Synopsys PrimeTime: switching activity
+//! from RTL simulation weighted by extracted capacitances. Our substitute
+//! keeps the first half exact — every model records its per-cycle activity
+//! here — and the `pels-power` crate supplies literature-calibrated
+//! per-event energies for the second half.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A class of energy-consuming activity.
+///
+/// Each variant maps to a per-event energy in the power model's calibration
+/// table; the split follows the breakdown PrimeTime reports (clock tree,
+/// registers, memories, bus, logic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ActivityKind {
+    /// A cycle in which the component's clock toggled (clock-tree load).
+    ClockCycle,
+    /// A cycle in which the component did useful work (datapath active).
+    ActiveCycle,
+    /// Architectural register file read port access.
+    RegRead,
+    /// Architectural register file write port access.
+    RegWrite,
+    /// SRAM macro read access (paper: the power-hungry path, Section I).
+    SramRead,
+    /// SRAM macro write access.
+    SramWrite,
+    /// Standard-cell-memory read (PELS private microcode fetch).
+    ScmRead,
+    /// Standard-cell-memory write (microcode load).
+    ScmWrite,
+    /// A transfer completing on the system interconnect.
+    BusTransfer,
+    /// A cycle spent arbitrating / stalled on the interconnect.
+    BusStall,
+    /// One instruction retired (CPU) or one command executed (PELS).
+    InstrRetired,
+    /// One instruction fetch issued to memory.
+    InstrFetch,
+    /// A single-wire event pulse driven or consumed.
+    EventPulse,
+    /// Interrupt entry/exit sequencing work.
+    IrqOverhead,
+}
+
+impl ActivityKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [ActivityKind; 14] = [
+        ActivityKind::ClockCycle,
+        ActivityKind::ActiveCycle,
+        ActivityKind::RegRead,
+        ActivityKind::RegWrite,
+        ActivityKind::SramRead,
+        ActivityKind::SramWrite,
+        ActivityKind::ScmRead,
+        ActivityKind::ScmWrite,
+        ActivityKind::BusTransfer,
+        ActivityKind::BusStall,
+        ActivityKind::InstrRetired,
+        ActivityKind::InstrFetch,
+        ActivityKind::EventPulse,
+        ActivityKind::IrqOverhead,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActivityKind::ClockCycle => "clock_cycle",
+            ActivityKind::ActiveCycle => "active_cycle",
+            ActivityKind::RegRead => "reg_read",
+            ActivityKind::RegWrite => "reg_write",
+            ActivityKind::SramRead => "sram_read",
+            ActivityKind::SramWrite => "sram_write",
+            ActivityKind::ScmRead => "scm_read",
+            ActivityKind::ScmWrite => "scm_write",
+            ActivityKind::BusTransfer => "bus_transfer",
+            ActivityKind::BusStall => "bus_stall",
+            ActivityKind::InstrRetired => "instr_retired",
+            ActivityKind::InstrFetch => "instr_fetch",
+            ActivityKind::EventPulse => "event_pulse",
+            ActivityKind::IrqOverhead => "irq_overhead",
+        }
+    }
+}
+
+impl fmt::Display for ActivityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-component, per-kind activity counters.
+///
+/// Keys are `(component, kind)`; components are identified by stable string
+/// names (e.g. `"ibex"`, `"pels.link0"`, `"sram"`). A `BTreeMap` keeps
+/// iteration deterministic.
+///
+/// ```
+/// use pels_sim::{ActivityKind, ActivitySet};
+/// let mut a = ActivitySet::new();
+/// a.record("sram", ActivityKind::SramRead, 3);
+/// a.record("sram", ActivityKind::SramRead, 1);
+/// assert_eq!(a.count("sram", ActivityKind::SramRead), 4);
+/// assert_eq!(a.component_total("sram"), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActivitySet {
+    counts: BTreeMap<(String, ActivityKind), u64>,
+}
+
+impl ActivitySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` occurrences of `kind` for `component`.
+    pub fn record(&mut self, component: &str, kind: ActivityKind, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self
+            .counts
+            .entry((component.to_owned(), kind))
+            .or_insert(0) += n;
+    }
+
+    /// Count of `kind` recorded for `component`.
+    pub fn count(&self, component: &str, kind: ActivityKind) -> u64 {
+        self.counts
+            .get(&(component.to_owned(), kind))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum over all kinds for `component`.
+    pub fn component_total(&self, component: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((c, _), _)| c == component)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Sum of `kind` across all components.
+    pub fn kind_total(&self, kind: ActivityKind) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((_, k), _)| *k == kind)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Sorted list of component names present in the set.
+    pub fn components(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.counts.keys().map(|(c, _)| c.as_str()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Iterates over `((component, kind), count)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, ActivityKind, u64)> {
+        self.counts.iter().map(|((c, k), &n)| (c.as_str(), *k, n))
+    }
+
+    /// Merges another set into this one (counts add).
+    pub fn merge(&mut self, other: &ActivitySet) {
+        for ((c, k), &n) in &other.counts {
+            *self.counts.entry((c.clone(), *k)).or_insert(0) += n;
+        }
+    }
+
+    /// Returns the difference `self - baseline` (saturating at zero), used
+    /// to isolate the activity of one measurement window.
+    pub fn delta_from(&self, baseline: &ActivitySet) -> ActivitySet {
+        let mut out = ActivitySet::new();
+        for ((c, k), &n) in &self.counts {
+            let base = baseline.counts.get(&(c.clone(), *k)).copied().unwrap_or(0);
+            let d = n.saturating_sub(base);
+            if d > 0 {
+                out.counts.insert((c.clone(), *k), d);
+            }
+        }
+        out
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+impl fmt::Display for ActivitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "activity:")?;
+        for (c, k, n) in self.iter() {
+            writeln!(f, "  {c:<16} {k:<14} {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut a = ActivitySet::new();
+        a.record("ibex", ActivityKind::InstrRetired, 10);
+        a.record("ibex", ActivityKind::SramRead, 12);
+        a.record("pels", ActivityKind::ScmRead, 4);
+        assert_eq!(a.count("ibex", ActivityKind::InstrRetired), 10);
+        assert_eq!(a.count("ibex", ActivityKind::ScmRead), 0);
+        assert_eq!(a.component_total("ibex"), 22);
+        assert_eq!(a.kind_total(ActivityKind::ScmRead), 4);
+        assert_eq!(a.components(), vec!["ibex", "pels"]);
+    }
+
+    #[test]
+    fn zero_records_are_ignored() {
+        let mut a = ActivitySet::new();
+        a.record("x", ActivityKind::RegRead, 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ActivitySet::new();
+        a.record("x", ActivityKind::RegRead, 1);
+        let mut b = ActivitySet::new();
+        b.record("x", ActivityKind::RegRead, 2);
+        b.record("y", ActivityKind::RegWrite, 3);
+        a.merge(&b);
+        assert_eq!(a.count("x", ActivityKind::RegRead), 3);
+        assert_eq!(a.count("y", ActivityKind::RegWrite), 3);
+    }
+
+    #[test]
+    fn delta_isolates_window() {
+        let mut base = ActivitySet::new();
+        base.record("x", ActivityKind::BusTransfer, 5);
+        let mut later = base.clone();
+        later.record("x", ActivityKind::BusTransfer, 2);
+        later.record("y", ActivityKind::EventPulse, 1);
+        let d = later.delta_from(&base);
+        assert_eq!(d.count("x", ActivityKind::BusTransfer), 2);
+        assert_eq!(d.count("y", ActivityKind::EventPulse), 1);
+    }
+
+    #[test]
+    fn display_lists_all_entries() {
+        let mut a = ActivitySet::new();
+        a.record("x", ActivityKind::ClockCycle, 7);
+        let s = a.to_string();
+        assert!(s.contains("clock_cycle"));
+        assert!(s.contains('7'));
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_labels() {
+        let mut labels: Vec<_> = ActivityKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ActivityKind::ALL.len());
+    }
+}

@@ -1,0 +1,132 @@
+//! Clock domains.
+
+use crate::time::{Frequency, SimTime};
+use std::fmt;
+
+/// Identifier of a clock registered with a [`crate::Scheduler`].
+///
+/// Obtained from [`crate::Scheduler::add_clock`]; cheap to copy and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockId(pub(crate) usize);
+
+impl ClockId {
+    /// The raw index of this clock in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ClockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+/// A free-running clock: a name, a frequency and an optional phase offset.
+///
+/// Rising edges occur at `phase + n * period` for `n = 0, 1, 2, ...`.
+///
+/// ```
+/// use pels_sim::{Clock, Frequency, SimTime};
+/// let clk = Clock::new("soc", Frequency::from_mhz(55.0));
+/// assert_eq!(clk.edge_time(0), SimTime::ZERO);
+/// assert_eq!(clk.edge_time(2).as_ps(), 2 * clk.frequency().period_ps());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clock {
+    name: String,
+    frequency: Frequency,
+    phase: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock with rising edges starting at time zero.
+    pub fn new(name: impl Into<String>, frequency: Frequency) -> Self {
+        Clock {
+            name: name.into(),
+            frequency,
+            phase: SimTime::ZERO,
+        }
+    }
+
+    /// Creates a clock whose first rising edge is delayed by `phase`.
+    ///
+    /// Useful to model skewed domains or to interleave same-frequency
+    /// domains deterministically.
+    pub fn with_phase(name: impl Into<String>, frequency: Frequency, phase: SimTime) -> Self {
+        Clock {
+            name: name.into(),
+            frequency,
+            phase,
+        }
+    }
+
+    /// The clock's name (used in traces and VCD dumps).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock's frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// The phase offset of the first rising edge.
+    pub fn phase(&self) -> SimTime {
+        self.phase
+    }
+
+    /// Absolute time of the `n`-th rising edge (0-based).
+    pub fn edge_time(&self, n: u64) -> SimTime {
+        self.phase + SimTime::from_ps(self.frequency.period_ps() * n)
+    }
+
+    /// Number of complete cycles elapsed at time `t`.
+    pub fn cycles_at(&self, t: SimTime) -> u64 {
+        let t = t.saturating_sub(self.phase);
+        t.as_ps() / self.frequency.period_ps()
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.name, self.frequency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_times_are_periodic() {
+        let clk = Clock::new("a", Frequency::from_mhz(100.0));
+        for n in 0..10 {
+            assert_eq!(clk.edge_time(n).as_ps(), n * 10_000);
+        }
+    }
+
+    #[test]
+    fn phase_shifts_edges() {
+        let clk = Clock::with_phase("b", Frequency::from_mhz(100.0), SimTime::from_ps(2_500));
+        assert_eq!(clk.edge_time(0).as_ps(), 2_500);
+        assert_eq!(clk.edge_time(1).as_ps(), 12_500);
+    }
+
+    #[test]
+    fn cycles_at_counts_whole_periods() {
+        let clk = Clock::new("c", Frequency::from_mhz(100.0));
+        assert_eq!(clk.cycles_at(SimTime::from_ps(9_999)), 0);
+        assert_eq!(clk.cycles_at(SimTime::from_ps(10_000)), 1);
+        assert_eq!(clk.cycles_at(SimTime::from_us(1)), 100);
+    }
+
+    #[test]
+    fn display_formats() {
+        let clk = Clock::new("soc", Frequency::from_mhz(55.0));
+        let s = format!("{clk}");
+        assert!(s.contains("soc"));
+        assert!(s.contains("MHz"));
+        assert_eq!(format!("{}", ClockId(3)), "clk3");
+    }
+}

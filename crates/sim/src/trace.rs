@@ -1,0 +1,240 @@
+//! Timestamped event tracing.
+//!
+//! A [`Trace`] records interesting simulation events (`spi.eot`,
+//! `pels.link0.trigger`, `ibex.irq_enter`, …) with their timestamp, and is
+//! the raw material for latency measurements: the paper's 2/7/16-cycle
+//! numbers are produced by subtracting trace timestamps.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Time the event occurred.
+    pub time: SimTime,
+    /// Hierarchical source name, e.g. `pels.link0`.
+    pub source: String,
+    /// Event label, e.g. `trigger`.
+    pub label: String,
+    /// Optional payload (register value, line index, …).
+    pub value: u64,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] {}.{} = {:#x}",
+            self.time.to_string(),
+            self.source,
+            self.label,
+            self.value
+        )
+    }
+}
+
+/// An append-only event trace with query helpers.
+///
+/// ```
+/// use pels_sim::{SimTime, Trace};
+/// let mut t = Trace::new();
+/// t.record(SimTime::from_ns(10), "spi", "eot", 0);
+/// t.record(SimTime::from_ns(80), "gpio", "set", 1);
+/// let lat = t.latency_between(("spi", "eot"), ("gpio", "set")).unwrap();
+/// assert_eq!(lat.as_ns(), 70);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    pub fn new() -> Self {
+        Trace {
+            entries: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace: `record` becomes a no-op. Useful for the
+    /// benches, where tracing overhead would pollute throughput numbers.
+    pub fn disabled() -> Self {
+        Trace {
+            entries: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, source: &str, label: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.entries.push(TraceEntry {
+            time,
+            source: source.to_owned(),
+            label: label.to_owned(),
+            value,
+        });
+    }
+
+    /// All recorded entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// First entry matching `(source, label)`.
+    pub fn first(&self, source: &str, label: &str) -> Option<&TraceEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.source == source && e.label == label)
+    }
+
+    /// Last entry matching `(source, label)`.
+    pub fn last(&self, source: &str, label: &str) -> Option<&TraceEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.source == source && e.label == label)
+    }
+
+    /// All entries matching `(source, label)`.
+    pub fn all(&self, source: &str, label: &str) -> Vec<&TraceEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.source == source && e.label == label)
+            .collect()
+    }
+
+    /// First entry matching `to` at-or-after the first occurrence of
+    /// `from`, minus the `from` timestamp.
+    ///
+    /// This is the latency-measurement primitive: time from a producer
+    /// event to a consumer action.
+    pub fn latency_between(
+        &self,
+        from: (&str, &str),
+        to: (&str, &str),
+    ) -> Option<SimTime> {
+        let start = self.first(from.0, from.1)?;
+        let end = self
+            .entries
+            .iter()
+            .find(|e| e.source == to.0 && e.label == to.1 && e.time >= start.time)?;
+        Some(end.time - start.time)
+    }
+
+    /// Latencies for every `(from → next to)` pair, for jitter statistics.
+    pub fn latencies_all(&self, from: (&str, &str), to: (&str, &str)) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let ends: Vec<&TraceEntry> = self.all(to.0, to.1);
+        let mut ei = 0usize;
+        for s in self.all(from.0, from.1) {
+            while ei < ends.len() && ends[ei].time < s.time {
+                ei += 1;
+            }
+            if ei < ends.len() {
+                out.push(ends[ei].time - s.time);
+                ei += 1;
+            }
+        }
+        out
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.record(SimTime::from_ns(0), "timer", "ovf", 0);
+        t.record(SimTime::from_ns(10), "spi", "eot", 0);
+        t.record(SimTime::from_ns(50), "gpio", "set", 1);
+        t.record(SimTime::from_ns(100), "spi", "eot", 1);
+        t.record(SimTime::from_ns(170), "gpio", "set", 0);
+        t
+    }
+
+    #[test]
+    fn first_last_all() {
+        let t = sample();
+        assert_eq!(t.first("spi", "eot").unwrap().time, SimTime::from_ns(10));
+        assert_eq!(t.last("spi", "eot").unwrap().time, SimTime::from_ns(100));
+        assert_eq!(t.all("spi", "eot").len(), 2);
+        assert!(t.first("nope", "x").is_none());
+    }
+
+    #[test]
+    fn latency_between_pairs() {
+        let t = sample();
+        let l = t.latency_between(("spi", "eot"), ("gpio", "set")).unwrap();
+        assert_eq!(l.as_ns(), 40);
+        assert!(t.latency_between(("gpio", "set"), ("timer", "ovf")).is_none());
+    }
+
+    #[test]
+    fn latencies_all_pairs_in_order() {
+        let t = sample();
+        let ls = t.latencies_all(("spi", "eot"), ("gpio", "set"));
+        assert_eq!(
+            ls.iter().map(|l| l.as_ns()).collect::<Vec<_>>(),
+            vec![40, 70]
+        );
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, "a", "b", 0);
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, "a", "b", 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let t = sample();
+        let s = t.to_string();
+        assert!(s.contains("spi.eot"));
+        assert!(s.contains("gpio.set"));
+    }
+}

@@ -1,0 +1,33 @@
+use pels_soc::{Mediator, Scenario};
+
+fn main() {
+    for (label, pels_s, ibex_s) in [
+        (
+            "iso-latency",
+            Scenario::iso_latency(Mediator::PelsSequenced),
+            Scenario::iso_latency(Mediator::IbexIrq),
+        ),
+        (
+            "iso-frequency",
+            Scenario::iso_frequency(Mediator::PelsSequenced),
+            Scenario::iso_frequency(Mediator::IbexIrq),
+        ),
+    ] {
+        let pr = pels_s.run();
+        let ir = ibex_s.run();
+        let pm = pr.power_model();
+        let im = ir.power_model();
+        let pa = pr.active_power(&pm);
+        let ia = ir.active_power(&im);
+        let pi = pr.idle_power(&pm);
+        let ii = ir.idle_power(&im);
+        println!("== {label} ==");
+        println!("  pels active {} idle {}", pa.total(), pi.total());
+        println!("  ibex active {} idle {}", ia.total(), ii.total());
+        println!("  active ratio ibex/pels = {:.2}", ia.total() / pa.total());
+        println!("  idle   ratio ibex/pels = {:.2}", ii.total() / pi.total());
+        println!("  mem    ratio ibex/pels = {:.2}", ia.memory_system().as_uw() / pa.memory_system().as_uw());
+        println!("  pels mem active {} ibex mem active {}", pa.memory_system(), ia.memory_system());
+        println!("  latencies: pels {:?} ibex {:?}", pr.stats, ir.stats);
+    }
+}

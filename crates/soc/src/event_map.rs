@@ -1,0 +1,100 @@
+//! Global single-wire event/action line assignments.
+//!
+//! One 64-line space is shared by peripheral event outputs (low lines)
+//! and PELS action outputs (lines ≥ 16), so the merged wire image a
+//! peripheral samples is collision-free by construction.
+
+/// SPI end-of-transfer pulse.
+pub const EV_SPI_EOT: u32 = 0;
+/// SPI µDMA buffer-complete pulse.
+pub const EV_SPI_UDMA_DONE: u32 = 1;
+/// Timer compare-match pulse.
+pub const EV_TIMER_CMP: u32 = 2;
+/// ADC conversion-done pulse.
+pub const EV_ADC_DONE: u32 = 3;
+/// GPIO watched-pin rising-edge pulse.
+pub const EV_GPIO_RISE: u32 = 4;
+/// UART transmit-complete pulse.
+pub const EV_UART_TX_DONE: u32 = 5;
+/// Watchdog bite pulse.
+pub const EV_WDT_BITE: u32 = 6;
+/// I2C transaction-done pulse.
+pub const EV_I2C_DONE: u32 = 7;
+/// I2C address-NACK pulse.
+pub const EV_I2C_NACK: u32 = 8;
+
+/// PELS action line wired to the GPIO *set* pad action.
+pub const AL_GPIO_SET: u32 = 19;
+/// PELS action line wired to the GPIO *toggle* pad action.
+pub const AL_GPIO_TOGGLE: u32 = 20;
+/// PELS action line wired to the GPIO *clear* pad action.
+pub const AL_GPIO_CLEAR: u32 = 21;
+/// PELS action line wired to the timer start.
+pub const AL_TIMER_START: u32 = 22;
+/// PELS action line wired to the timer stop.
+pub const AL_TIMER_STOP: u32 = 23;
+/// PELS action line wired to the ADC conversion start.
+pub const AL_ADC_START: u32 = 24;
+/// PELS action line wired to the watchdog kick.
+pub const AL_WDT_KICK: u32 = 25;
+/// PELS action line wired to the I2C transaction start.
+pub const AL_I2C_START: u32 = 26;
+
+/// First line of the PELS inter-link loopback window (Figure 2 ⑨).
+pub const AL_LOOPBACK_FIRST: u32 = 40;
+/// Last line of the loopback window.
+pub const AL_LOOPBACK_LAST: u32 = 47;
+
+/// Interrupt line (in `mie`/`mip`) an event line is latched onto for the
+/// Ibex baseline: Ibex fast interrupts occupy bits 16..=30.
+pub const fn irq_bit_for_event(event_line: u32) -> u32 {
+    16 + event_line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn namespaces_are_disjoint() {
+        let events = [
+            EV_SPI_EOT,
+            EV_SPI_UDMA_DONE,
+            EV_TIMER_CMP,
+            EV_ADC_DONE,
+            EV_GPIO_RISE,
+            EV_UART_TX_DONE,
+            EV_WDT_BITE,
+            EV_I2C_DONE,
+            EV_I2C_NACK,
+        ];
+        let actions = [
+            AL_GPIO_SET,
+            AL_GPIO_TOGGLE,
+            AL_GPIO_CLEAR,
+            AL_TIMER_START,
+            AL_TIMER_STOP,
+            AL_ADC_START,
+            AL_WDT_KICK,
+            AL_I2C_START,
+        ];
+        for e in events {
+            assert!(e < 16, "peripheral events live below line 16");
+            for a in actions {
+                assert_ne!(e, a);
+            }
+        }
+        for a in actions {
+            assert!((16..40).contains(&a), "actions live in 16..40");
+        }
+        assert!(AL_LOOPBACK_FIRST >= 40 && AL_LOOPBACK_LAST < 64);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn irq_bits_are_fast_interrupts() {
+        assert_eq!(irq_bit_for_event(EV_SPI_EOT), 16);
+        assert!(irq_bit_for_event(EV_WDT_BITE) <= 30);
+    }
+}

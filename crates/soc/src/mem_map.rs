@@ -1,0 +1,77 @@
+//! The SoC address map (PULPissimo-style bases).
+
+/// L2 SRAM base address.
+pub const L2_BASE: u32 = 0x1C00_0000;
+/// L2 SRAM size (the paper's implemented configuration: 192 KiB).
+pub const L2_SIZE: u32 = 192 * 1024;
+
+/// Base of the APB peripheral region.
+pub const APB_BASE: u32 = 0x1A10_0000;
+/// Per-peripheral slot stride. All slots fit in one 12-bit word-offset
+/// window (16 KiB) so a single PELS link base covers every peripheral —
+/// the constraint the paper's command encoding imposes (Section III-2).
+pub const APB_STRIDE: u32 = 0x400;
+
+/// GPIO slot offset from [`APB_BASE`].
+pub const GPIO_OFFSET: u32 = 0;
+/// Timer slot offset.
+pub const TIMER_OFFSET: u32 = APB_STRIDE;
+/// SPI slot offset.
+pub const SPI_OFFSET: u32 = 2 * APB_STRIDE;
+/// ADC slot offset.
+pub const ADC_OFFSET: u32 = 3 * APB_STRIDE;
+/// UART slot offset.
+pub const UART_OFFSET: u32 = 4 * APB_STRIDE;
+/// Watchdog slot offset.
+pub const WDT_OFFSET: u32 = 5 * APB_STRIDE;
+/// I2C slot offset.
+pub const I2C_OFFSET: u32 = 6 * APB_STRIDE;
+/// Total APB region size.
+pub const APB_SIZE: u32 = 7 * APB_STRIDE;
+
+/// PELS configuration-port base (accessed by the CPU, not by links).
+pub const PELS_BASE: u32 = 0x1A20_0000;
+/// PELS configuration-port size.
+pub const PELS_SIZE: u32 = 0x1000;
+
+/// CPU reset vector (start of the boot image in L2).
+pub const RESET_PC: u32 = L2_BASE + 0x80;
+
+/// Absolute byte address of a register inside a peripheral slot.
+pub const fn apb_reg(slot_offset: u32, reg: u32) -> u32 {
+    APB_BASE + slot_offset + reg
+}
+
+/// PELS-command word offset (from a link base at [`APB_BASE`]) of a
+/// peripheral register.
+pub const fn pels_word_offset(slot_offset: u32, reg: u32) -> u16 {
+    ((slot_offset + reg) / 4) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn apb_region_fits_pels_offset_window() {
+        // 12-bit word offsets cover 16 KiB.
+        assert!(APB_SIZE <= 0x1000 * 4);
+        let last = pels_word_offset(I2C_OFFSET, 0x14);
+        assert!(last <= 0xFFF);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn regions_do_not_overlap() {
+        assert!(APB_BASE + APB_SIZE <= PELS_BASE);
+        assert!(PELS_BASE + PELS_SIZE <= L2_BASE);
+    }
+
+    #[test]
+    fn helpers_compose() {
+        assert_eq!(apb_reg(SPI_OFFSET, 0x18), 0x1A10_0818);
+        assert_eq!(pels_word_offset(SPI_OFFSET, 0x18), 0x206);
+        assert_eq!(pels_word_offset(GPIO_OFFSET, 0x08), 2);
+    }
+}

@@ -1,0 +1,469 @@
+//! The paper's evaluation workload (Section IV-B).
+//!
+//! "We design an event-linking application consisting of a
+//! threshold-crossing check after I/O DMA-managed sensor readout through
+//! the SPI interface [...] We compare PELS's mediation through sequenced
+//! actions with an interrupt-based mechanism redirecting the linking event
+//! to the Ibex core in two scenarios: (i) iso-latency [...] PELS and Ibex
+//! match a 500 ns latency requirement at 27 MHz and 55 MHz respectively,
+//! and (ii) iso-frequency" (both at 55 MHz).
+//!
+//! A [`Scenario`] describes one such run: who mediates the linking
+//! ([`Mediator`]), at what frequency, with which microcode/handler
+//! flavour. [`Scenario::run`] executes it cycle-accurately and returns a
+//! [`ScenarioReport`] with per-event latencies and the switching activity
+//! of both the measurement window and a matching idle window — the inputs
+//! Figure 5 and the Section IV-B latency comparison are regenerated from.
+
+use crate::baseline;
+use crate::event_map::*;
+use crate::mem_map::*;
+use crate::power_setup;
+use crate::soc::{SensorKind, Soc, SocBuilder};
+use pels_core::{ActionMode, Command, Cond, PelsConfig, Program, TriggerCond};
+use pels_interconnect::ApbSlave;
+use pels_periph::{Spi, Timer};
+use pels_power::{PowerModel, PowerReport};
+use pels_sim::{ActivitySet, EventVector, Frequency, SimTime, Trace};
+use std::fmt;
+
+/// Who mediates the linking event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mediator {
+    /// PELS issues the actuation over the interconnect (sequenced
+    /// action).
+    PelsSequenced,
+    /// PELS actuates through a single-wire event line (instant action).
+    PelsInstant,
+    /// The Ibex-class core handles an interrupt (the paper's baseline).
+    IbexIrq,
+}
+
+impl fmt::Display for Mediator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mediator::PelsSequenced => f.write_str("pels-sequenced"),
+            Mediator::PelsInstant => f.write_str("pels-instant"),
+            Mediator::IbexIrq => f.write_str("ibex-irq"),
+        }
+    }
+}
+
+/// Per-event latency statistics (in mediator-clock cycles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkingStats {
+    /// Events measured.
+    pub count: usize,
+    /// Minimum latency.
+    pub min: u64,
+    /// Maximum latency.
+    pub max: u64,
+    /// Mean latency (rounded down).
+    pub mean: u64,
+}
+
+impl LinkingStats {
+    /// Computes stats from raw per-event cycle latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn from_cycles(latencies: &[u64]) -> Self {
+        assert!(!latencies.is_empty(), "no linking events measured");
+        LinkingStats {
+            count: latencies.len(),
+            min: *latencies.iter().min().expect("non-empty"),
+            max: *latencies.iter().max().expect("non-empty"),
+            mean: latencies.iter().sum::<u64>() / latencies.len() as u64,
+        }
+    }
+
+    /// Max − min: the jitter the paper argues instant actions eliminate.
+    pub fn jitter(&self) -> u64 {
+        self.max - self.min
+    }
+}
+
+/// One evaluation run description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Who mediates.
+    pub mediator: Mediator,
+    /// System clock.
+    pub freq: Frequency,
+    /// Analog threshold level (V); the sensor's constant level sits above
+    /// it so every readout actuates.
+    pub threshold_level: f64,
+    /// The analog source.
+    pub sensor: SensorKind,
+    /// Wall-clock interval between sensor readouts (the sensor's sample
+    /// rate is a property of the application, not of the mediator's
+    /// clock).
+    pub sample_period: SimTime,
+    /// Words per SPI readout.
+    pub spi_words: u32,
+    /// SPI cycles per word.
+    pub spi_clkdiv: u32,
+    /// Linking events to measure.
+    pub events: u32,
+    /// PELS configuration.
+    pub pels: PelsConfig,
+    /// `true` → the link runs the minimal single-RMW/action program (the
+    /// latency-table measurement); `false` → the full Figure 3 threshold
+    /// check (the Figure 5 power workload).
+    pub rmw_only: bool,
+    /// Land readout data in L2 through the SPI µDMA channel.
+    pub use_udma: bool,
+}
+
+impl Scenario {
+    /// Common base: 2.5 V sensor vs 1.6 V threshold, readout every 150
+    /// cycles, 4-word DMA transfers.
+    fn base(mediator: Mediator, freq: Frequency) -> Self {
+        Scenario {
+            mediator,
+            freq,
+            threshold_level: 1.6,
+            sensor: SensorKind::Constant(2.5),
+            sample_period: SimTime::from_ns(1000),
+            spi_words: 2,
+            spi_clkdiv: 4,
+            events: 20,
+            pels: PelsConfig::default(),
+            rmw_only: false,
+            use_udma: true,
+        }
+    }
+
+    /// Iso-latency operating point (paper: 500 ns budget — PELS at
+    /// 27 MHz, Ibex at 55 MHz).
+    pub fn iso_latency(mediator: Mediator) -> Self {
+        let freq = match mediator {
+            Mediator::IbexIrq => Frequency::from_mhz(55.0),
+            _ => Frequency::from_mhz(27.0),
+        };
+        Self::base(mediator, freq)
+    }
+
+    /// Iso-frequency operating point (both at 55 MHz).
+    pub fn iso_frequency(mediator: Mediator) -> Self {
+        Self::base(mediator, Frequency::from_mhz(55.0))
+    }
+
+    /// The latency-table variant: minimal mediation program.
+    pub fn latency_probe(mediator: Mediator) -> Self {
+        let mut s = Self::iso_frequency(mediator);
+        s.rmw_only = true;
+        s.events = 10;
+        s
+    }
+
+    /// The sample period in cycles of this scenario's clock.
+    pub fn timer_period_cycles(&self) -> u32 {
+        (self.sample_period.as_ps() / self.freq.period_ps()) as u32
+    }
+
+    /// The sensor threshold as a 12-bit code.
+    pub fn threshold_code(&self) -> u32 {
+        SensorKind::code_for_level(self.threshold_level)
+    }
+
+    /// The PELS microcode for this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for the Ibex mediator.
+    pub fn link_program(&self) -> Program {
+        let toggle = Command::Toggle {
+            offset: pels_word_offset(GPIO_OFFSET, pels_periph::Gpio::PADOUT),
+            mask: 1,
+        };
+        let pulse = Command::Action {
+            mode: ActionMode::Pulse,
+            group: 0,
+            mask: 1 << AL_GPIO_TOGGLE,
+        };
+        let actuate = match self.mediator {
+            Mediator::PelsSequenced => toggle,
+            Mediator::PelsInstant => pulse,
+            Mediator::IbexIrq => panic!("the ibex baseline runs no PELS microcode"),
+        };
+        let cmds = if self.rmw_only {
+            vec![actuate, Command::Halt]
+        } else {
+            // Figure 3: capture the sample, bail below threshold,
+            // actuate on the fall-through path (no taken-branch bubble
+            // on the measured path).
+            vec![
+                Command::Capture {
+                    offset: pels_word_offset(SPI_OFFSET, Spi::LAST),
+                    mask: 0xFFF,
+                },
+                Command::JumpIf {
+                    cond: Cond::LtU,
+                    target: 3,
+                    operand: self.threshold_code(),
+                },
+                actuate,
+                Command::Halt,
+            ]
+        };
+        Program::new(cmds).expect("scenario programs are valid by construction")
+    }
+
+    fn build_soc(&self) -> Soc {
+        let mut soc = SocBuilder::new()
+            .frequency(self.freq)
+            .pels_links(self.pels.links)
+            .scm_lines(self.pels.scm_lines)
+            .fifo_depth(self.pels.fifo_depth)
+            .sensor(self.sensor)
+            .spi_clkdiv(self.spi_clkdiv)
+            .build();
+
+        match self.mediator {
+            Mediator::PelsSequenced | Mediator::PelsInstant => {
+                let program = self.link_program();
+                {
+                    let link = soc.pels_mut().link_mut(0);
+                    link.set_mask(EventVector::mask_of(&[EV_SPI_EOT]))
+                        .set_condition(TriggerCond::Any)
+                        .set_base(APB_BASE);
+                    link.load_program(&program)
+                        .expect("scenario program fits the configured scm");
+                }
+                // The core only boots and sleeps; linking never wakes it.
+                soc.load_program(RESET_PC, &[pels_cpu::asm::wfi(), pels_cpu::asm::jal(0, -4)]);
+            }
+            Mediator::IbexIrq => {
+                soc.pels_mut().set_enabled(false);
+                let image = baseline::threshold_irq_image(
+                    self.threshold_code(),
+                    self.spi_words * 4,
+                );
+                for (addr, words) in &image.segments {
+                    soc.load_program(*addr, words);
+                }
+            }
+        }
+
+        // Autonomous readout chain: timer compare starts the SPI; µDMA
+        // lands the words in L2.
+        soc.spi_mut().set_default_len(self.spi_words);
+        if self.use_udma {
+            soc.spi_mut().write(Spi::UDMA_SADDR, 0x4000).unwrap();
+            // Autonomous (PELS) configurations stream into a ring buffer;
+            // the interrupt baseline re-arms the channel from its handler
+            // instead (Figure 1a vs 1c).
+            if self.mediator != Mediator::IbexIrq {
+                soc.spi_mut().write(Spi::UDMA_CFG, 1).unwrap();
+            }
+            soc.spi_mut()
+                .write(Spi::UDMA_SIZE, self.spi_words * 4)
+                .unwrap();
+        }
+        soc
+    }
+
+    fn arm_timer(soc: &mut Soc, period: u32) {
+        soc.timer_mut().write(Timer::CMP, period).unwrap();
+        soc.timer_mut()
+            .write(Timer::CTRL, Timer::CTRL_ENABLE)
+            .unwrap();
+    }
+
+    /// The trace point that marks a completed linking action.
+    fn completion_marker(&self) -> (&'static str, &'static str) {
+        match self.mediator {
+            Mediator::PelsInstant => ("pels.link0", "action"),
+            _ => ("gpio", "padout"),
+        }
+    }
+
+    /// Executes the scenario: an *active* window with periodic linking
+    /// events, plus an equal-length *idle* window (same configuration, no
+    /// events) for the idle bars of Figure 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no linking event completes within the cycle budget —
+    /// that is a harness bug, not a measurable outcome.
+    pub fn run(&self) -> ScenarioReport {
+        // Active window.
+        let mut soc = self.build_soc();
+        Self::arm_timer(&mut soc, self.timer_period_cycles());
+        let per_event = u64::from(self.timer_period_cycles())
+            + u64::from(self.spi_words * self.spi_clkdiv)
+            + 64;
+        let budget = u64::from(self.events) * per_event + 2_000;
+        let marker = self.completion_marker();
+        let wanted = self.events as usize;
+        soc.run_until(budget, |s| s.trace().all(marker.0, marker.1).len() >= wanted);
+
+        let window = soc.window_time();
+        let cycles = soc.window_cycles();
+        let activity = soc.drain_activity();
+        // Re-arm the µDMA channel is unnecessary for measurement; events
+        // beyond the first reuse the FIFO path, which is equivalent for
+        // the linking check (the `LAST` register always holds the newest
+        // sample).
+        let latencies: Vec<u64> = soc
+            .trace()
+            .latencies_all(("spi", "eot"), marker)
+            .into_iter()
+            .map(|t| t.as_ps() / self.freq.period_ps())
+            .collect();
+        assert!(
+            !latencies.is_empty(),
+            "no linking events completed for {} within {budget} cycles",
+            self.mediator
+        );
+        let stats = LinkingStats::from_cycles(&latencies);
+        let events_completed = soc.trace().all(marker.0, marker.1).len() as u32;
+
+        // Idle window: identical configuration, timer disarmed, same
+        // number of cycles.
+        let mut idle_soc = self.build_soc();
+        idle_soc.run(cycles);
+        let idle_window = idle_soc.window_time();
+        let idle_activity = idle_soc.drain_activity();
+
+        ScenarioReport {
+            mediator: self.mediator,
+            freq: self.freq,
+            latencies,
+            stats,
+            events_completed,
+            active_activity: activity,
+            active_window: window,
+            idle_activity,
+            idle_window,
+            pels: self.pels,
+            trace: soc.trace().clone(),
+        }
+    }
+}
+
+/// The measured outcome of a [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Who mediated.
+    pub mediator: Mediator,
+    /// Clock of the mediating system.
+    pub freq: Frequency,
+    /// Raw per-event latencies in cycles.
+    pub latencies: Vec<u64>,
+    /// Latency statistics.
+    pub stats: LinkingStats,
+    /// Linking events completed.
+    pub events_completed: u32,
+    /// Switching activity of the active window.
+    pub active_activity: ActivitySet,
+    /// Duration of the active window.
+    pub active_window: SimTime,
+    /// Switching activity of the matching idle window.
+    pub idle_activity: ActivitySet,
+    /// Duration of the idle window.
+    pub idle_window: SimTime,
+    /// The PELS configuration used.
+    pub pels: PelsConfig,
+    /// The full event trace of the active run (per-stage analysis).
+    pub trace: Trace,
+}
+
+impl ScenarioReport {
+    /// The calibrated power model for this configuration.
+    pub fn power_model(&self) -> PowerModel {
+        power_setup::power_model_for(self.pels)
+    }
+
+    /// Power report for the active window.
+    pub fn active_power(&self, model: &PowerModel) -> PowerReport {
+        model.report(&self.active_activity, self.active_window)
+    }
+
+    /// Power report for the idle window.
+    pub fn idle_power(&self, model: &PowerModel) -> PowerReport {
+        model.report(&self.idle_activity, self.idle_window)
+    }
+
+    /// Mean latency as wall-clock time (for the 500 ns iso-latency
+    /// check).
+    pub fn mean_latency_time(&self) -> SimTime {
+        SimTime::from_ps(self.stats.mean * self.freq.period_ps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequenced_rmw_latency_is_seven_cycles() {
+        let report = Scenario::latency_probe(Mediator::PelsSequenced).run();
+        assert_eq!(report.stats.min, 7, "paper: 7-cycle sequenced action");
+        assert_eq!(report.stats.max, 7, "no jitter on an idle bus");
+    }
+
+    #[test]
+    fn instant_action_latency_is_two_cycles() {
+        let report = Scenario::latency_probe(Mediator::PelsInstant).run();
+        assert_eq!(report.stats.min, 2, "paper: 2-cycle instant action");
+        assert_eq!(report.stats.jitter(), 0, "instant actions are fixed-latency");
+    }
+
+    #[test]
+    fn ibex_interrupt_latency_is_sixteen_cycles() {
+        let report = Scenario::latency_probe(Mediator::IbexIrq).run();
+        assert_eq!(
+            report.stats.min, 16,
+            "paper: 16 cycles through the interrupt path"
+        );
+    }
+
+    #[test]
+    fn threshold_program_actuates_every_readout() {
+        let s = Scenario::iso_frequency(Mediator::PelsSequenced);
+        let report = s.run();
+        assert!(report.events_completed >= s.events);
+        assert!(report.stats.min >= 11, "capture+jump+rmw path");
+    }
+
+    #[test]
+    fn below_threshold_never_actuates() {
+        let mut s = Scenario::iso_frequency(Mediator::PelsSequenced);
+        s.sensor = SensorKind::Constant(1.0); // below the 1.6 V threshold
+        s.events = 3;
+        let mut soc = s.build_soc();
+        Scenario::arm_timer(&mut soc, s.timer_period_cycles());
+        soc.run(3_000);
+        assert!(soc.trace().all("spi", "eot").len() >= 3, "readouts happen");
+        assert!(
+            soc.trace().first("gpio", "padout").is_none(),
+            "no actuation below threshold"
+        );
+    }
+
+    #[test]
+    fn iso_latency_meets_500ns_budget() {
+        for mediator in [Mediator::PelsSequenced, Mediator::IbexIrq] {
+            let report = Scenario::iso_latency(mediator).run();
+            assert!(
+                report.mean_latency_time() <= SimTime::from_ns(500),
+                "{mediator}: {} exceeds 500 ns",
+                report.mean_latency_time()
+            );
+        }
+    }
+
+    #[test]
+    fn udma_lands_sensor_words_in_l2() {
+        let s = Scenario::iso_frequency(Mediator::PelsSequenced);
+        let mut soc = s.build_soc();
+        Scenario::arm_timer(&mut soc, s.timer_period_cycles());
+        soc.run(u64::from(s.timer_period_cycles()) + 64);
+        // 2.5 V on a 3.3 V 12-bit scale ≈ code 3102.
+        let code = soc.l2().peek_word(0x4000);
+        assert!(code > 3000 && code < 3200, "sample {code} landed in L2");
+    }
+}

@@ -1,0 +1,96 @@
+//! Multi-sensor fusion with an AND trigger condition — the paper's
+//! introduction motivates event linking with exactly this class of
+//! workload ("multi-sensor fusion techniques", refs [3][6]).
+//!
+//! Two independent sensor paths produce events: the SPI front-end
+//! (end-of-transfer, line 0) and the on-chip ADC (conversion done,
+//! line 3). A single PELS link is configured with the **all-selected-
+//! active (AND)** trigger condition, so it fires only in cycles where
+//! *both* sensors delivered — and then raises the fused alert. The CPU
+//! sleeps throughout.
+//!
+//! ```text
+//! cargo run --example sensor_fusion
+//! ```
+
+use pels_repro::core::{assemble, TriggerCond};
+use pels_repro::interconnect::ApbSlave;
+use pels_repro::periph::Timer;
+use pels_repro::sim::EventVector;
+use pels_repro::soc::event_map::{EV_ADC_DONE, EV_SPI_EOT};
+use pels_repro::soc::mem_map::RESET_PC;
+use pels_repro::soc::{SensorKind, SocBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut soc = SocBuilder::new()
+        .sensor(SensorKind::Constant(2.0))
+        .spi_clkdiv(4)
+        .build();
+
+    // Both front-ends are kicked by the same timer event; their
+    // completion latencies differ (SPI: 8 cycles for 2 words at clkdiv 4;
+    // ADC: 16-cycle conversion), so their done-pulses only line up if we
+    // make them: SPI reads 4 words (16 cycles)... they won't align, which
+    // is the point — watch the AND condition reject the skewed pair, then
+    // align the latencies and watch it fire.
+    soc.spi_mut().set_default_len(4); // 4 words x 4 cycles = 16 cycles
+    soc.adc_mut().wire_start_action(pels_repro::soc::event_map::EV_TIMER_CMP);
+
+    let fused_alert = assemble(
+        "action pulse, 0, 0x2000   ; fused-event line 13
+         halt",
+    )?;
+    {
+        let link = soc.pels_mut().link_mut(0);
+        link.set_mask(EventVector::mask_of(&[EV_SPI_EOT, EV_ADC_DONE]))
+            .set_condition(TriggerCond::All);
+        link.load_program(&fused_alert)?;
+    }
+    soc.load_program(
+        RESET_PC,
+        &[pels_repro::cpu::asm::wfi(), pels_repro::cpu::asm::jal(0, -4)],
+    );
+    soc.timer_mut().write(Timer::CMP, 100).unwrap();
+    soc.timer_mut().write(Timer::CTRL, Timer::CTRL_ENABLE).unwrap();
+
+    soc.run(600);
+    let spi_events = soc.trace().all("spi", "eot").len();
+    let adc_events = soc.trace().all("adc", "done").len();
+    let fused = soc.trace().all("pels.link0", "action").len();
+    println!("SPI readouts: {spi_events}, ADC conversions: {adc_events}, fused alerts: {fused}");
+    assert!(spi_events >= 4 && adc_events >= 4);
+    assert_eq!(fused, spi_events, "16-cycle SPI aligns with the 16-cycle ADC");
+
+    // Now skew the ADC by one cycle (17-cycle conversions): the pulses
+    // never coincide and the AND condition goes quiet.
+    let mut soc = SocBuilder::new()
+        .sensor(SensorKind::Constant(2.0))
+        .spi_clkdiv(4)
+        .build();
+    soc.spi_mut().set_default_len(4);
+    // Rebuild the ADC with a 17-cycle conversion by re-wiring through the
+    // public API: the builder fixes conversion cycles, so emulate the
+    // skew by shortening the SPI transfer instead (3 words = 12 cycles).
+    soc.spi_mut().set_default_len(3);
+    soc.adc_mut().wire_start_action(pels_repro::soc::event_map::EV_TIMER_CMP);
+    {
+        let link = soc.pels_mut().link_mut(0);
+        link.set_mask(EventVector::mask_of(&[EV_SPI_EOT, EV_ADC_DONE]))
+            .set_condition(TriggerCond::All);
+        link.load_program(&fused_alert)?;
+    }
+    soc.load_program(
+        RESET_PC,
+        &[pels_repro::cpu::asm::wfi(), pels_repro::cpu::asm::jal(0, -4)],
+    );
+    soc.timer_mut().write(Timer::CMP, 100).unwrap();
+    soc.timer_mut().write(Timer::CTRL, Timer::CTRL_ENABLE).unwrap();
+    soc.run(600);
+    let fused_skewed = soc.trace().all("pels.link0", "action").len();
+    println!("with skewed completions, fused alerts: {fused_skewed}");
+    assert_eq!(fused_skewed, 0, "AND condition rejects non-coincident events");
+
+    println!("\nthe same link with condition `any` would fire on either");
+    println!("sensor; `at-least-k` generalizes to k-of-n sensor voting.");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Dumps a VCD waveform of one linking event — the debugging workflow an
+//! RTL engineer would use on the original SystemVerilog PELS, available
+//! here without any external tooling.
+//!
+//! ```text
+//! cargo run --example waveform      # writes pels_linking.vcd
+//! gtkwave pels_linking.vcd          # (on a machine with GTKWave)
+//! ```
+
+use pels_repro::interconnect::ApbSlave;
+use pels_repro::periph::Timer;
+use pels_repro::sim::vcd::VcdWriter;
+use pels_repro::soc::{Mediator, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::latency_probe(Mediator::PelsSequenced);
+    let mut soc = {
+        // Rebuild the scenario's SoC by hand so we can step it ourselves.
+        let s = Scenario::latency_probe(Mediator::PelsSequenced);
+        let mut soc = pels_repro::soc::SocBuilder::new()
+            .frequency(s.freq)
+            .sensor(s.sensor)
+            .spi_clkdiv(s.spi_clkdiv)
+            .build();
+        let link = soc.pels_mut().link_mut(0);
+        link.set_mask(pels_repro::sim::EventVector::mask_of(&[0]))
+            .set_base(pels_repro::soc::mem_map::APB_BASE);
+        link.load_program(&s.link_program())?;
+        soc.spi_mut().set_default_len(s.spi_words);
+        soc.load_program(
+            pels_repro::soc::mem_map::RESET_PC,
+            &[pels_repro::cpu::asm::wfi(), pels_repro::cpu::asm::jal(0, -4)],
+        );
+        soc
+    };
+    soc.timer_mut().write(Timer::CMP, 20)?;
+    soc.timer_mut().write(Timer::CTRL, Timer::CTRL_ENABLE)?;
+
+    let mut vcd = VcdWriter::new("pels_soc");
+    let clk = vcd.add_signal("clk", 1);
+    let spi_busy = vcd.add_signal("spi_busy", 1);
+    let link_busy = vcd.add_signal("link0_busy", 1);
+    let link_pc = vcd.add_signal("link0_pc", 4);
+    let gpio_out = vcd.add_signal("gpio_padout", 8);
+    let events = vcd.add_signal("event_lines", 16);
+
+    for _ in 0..80 {
+        let t = soc.time();
+        vcd.change(t, clk, soc.cycle() & 1);
+        vcd.change(t, spi_busy, u64::from(soc.spi().is_busy()));
+        vcd.change(t, link_busy, u64::from(soc.pels().link(0).is_busy()));
+        vcd.change(t, link_pc, soc.pels().link(0).exec().pc() as u64);
+        vcd.change(t, gpio_out, u64::from(soc.gpio().out()));
+        vcd.change(t, events, soc.pels().action_lines().bits());
+        soc.step();
+    }
+
+    let doc = vcd.finish();
+    std::fs::write("pels_linking.vcd", &doc)?;
+    println!(
+        "wrote pels_linking.vcd ({} bytes) covering one {}-cycle linking event",
+        doc.len(),
+        scenario.timer_period_cycles() + 20
+    );
+    println!("signals: clk, spi_busy, link0_busy, link0_pc, gpio_padout, event_lines");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! # pels-repro — umbrella crate for the PELS reproduction
+//!
+//! Re-exports the workspace crates so the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/` can use
+//! one coherent namespace. See the individual crates for the substance:
+//!
+//! * [`pels_core`] — the paper's contribution (the event-linking system);
+//! * [`pels_soc`] — the PULPissimo-like SoC it is evaluated in;
+//! * [`pels_cpu`] — the Ibex-class RV32IMC baseline;
+//! * [`pels_periph`], [`pels_interconnect`], [`pels_sim`], [`pels_power`] —
+//!   substrates.
+
+#![forbid(unsafe_code)]
+
+pub use pels_core as core;
+pub use pels_cpu as cpu;
+pub use pels_interconnect as interconnect;
+pub use pels_periph as periph;
+pub use pels_power as power;
+pub use pels_sim as sim;
+pub use pels_soc as soc;

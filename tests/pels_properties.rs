@@ -1,0 +1,207 @@
+//! Property-based tests on PELS behavioural invariants: trigger
+//! accounting, latency determinism, program robustness, arbiter fairness
+//! and power-model monotonicity.
+
+use pels_repro::core::pels::NoBus;
+use pels_repro::core::{
+    ActionMode, Command, Cond, PelsBuilder, Program, TriggerCond, TriggerUnit,
+};
+use pels_repro::interconnect::{Arbiter, RoundRobin};
+use pels_repro::power::{Calibration, PowerModel};
+use pels_repro::sim::{ActivityKind, ActivitySet, EventVector, SimTime, Trace};
+use proptest::prelude::*;
+
+/// Random *terminating* programs: no `loop` commands with a jump-back
+/// (forward-only control flow), bounded waits.
+fn arb_terminating_program(max_len: usize) -> impl Strategy<Value = Program> {
+    let cmd = prop_oneof![
+        Just(Command::Nop),
+        (0u32..20).prop_map(|cycles| Command::Wait { cycles }),
+        (0u8..=1, any::<u32>()).prop_map(|(group, mask)| Command::Action {
+            mode: ActionMode::Pulse,
+            group,
+            mask,
+        }),
+    ];
+    proptest::collection::vec(cmd, 1..max_len).prop_map(|mut cmds| {
+        cmds.push(Command::Halt);
+        Program::new(cmds).expect("generated commands are always valid")
+    })
+}
+
+proptest! {
+    /// Any bus-free program terminates: the link returns to idle within
+    /// a budget bounded by its wait cycles, and never panics.
+    #[test]
+    fn random_programs_terminate(program in arb_terminating_program(12)) {
+        let mut pels = PelsBuilder::new().links(1).scm_lines(16).build();
+        pels.link_mut(0).set_mask(EventVector::mask_of(&[0]));
+        pels.link_mut(0).load_program(&program).expect("16-line scm fits");
+        let mut trace = Trace::disabled();
+        let mut bus = NoBus;
+        let mut events = EventVector::mask_of(&[0]);
+        let budget = 16 * 2 + 20 * 16 + 8;
+        let mut idle_at = None;
+        for cycle in 0..budget {
+            pels.tick(events, SimTime::from_ps(cycle * 1000), &mut bus, &mut trace);
+            events = EventVector::EMPTY;
+            if cycle > 2 && !pels.is_busy() {
+                idle_at = Some(cycle);
+                break;
+            }
+        }
+        prop_assert!(idle_at.is_some(), "program must halt within {budget} cycles");
+    }
+
+    /// The instant-action latency is exactly 2 cycles for any action
+    /// payload and any trigger mask containing the event line — the
+    /// fixed-latency guarantee the paper sells.
+    #[test]
+    fn instant_latency_is_payload_independent(
+        mask in 1u32..,
+        group in 0u8..=1,
+        extra_lines in any::<u16>(),
+    ) {
+        let trigger_line = 5u32;
+        let mut listen = EventVector::mask_of(&[trigger_line]);
+        // Add arbitrary other lines to the mask; they must not matter
+        // under the `any` condition when only line 5 pulses.
+        for b in 0..16 {
+            if extra_lines & (1 << b) != 0 {
+                listen.set(16 + b);
+            }
+        }
+        let mut pels = PelsBuilder::new().links(1).scm_lines(4).build();
+        pels.link_mut(0).set_mask(listen).set_condition(TriggerCond::Any);
+        pels.link_mut(0)
+            .load_program(&Program::new(vec![
+                Command::Action { mode: ActionMode::Pulse, group, mask },
+                Command::Halt,
+            ]).expect("valid"))
+            .expect("fits");
+        let mut trace = Trace::disabled();
+        let mut bus = NoBus;
+        let mut outs = Vec::new();
+        for cycle in 0..6u64 {
+            let ev = if cycle == 0 {
+                EventVector::mask_of(&[trigger_line])
+            } else {
+                EventVector::EMPTY
+            };
+            outs.push(pels.tick(ev, SimTime::from_ps(cycle * 1000), &mut bus, &mut trace));
+        }
+        let expected = EventVector::from_bits(u64::from(mask) << (32 * u64::from(group)));
+        prop_assert!(outs[0].is_empty());
+        prop_assert!(outs[1].is_empty());
+        prop_assert_eq!(outs[2], expected, "pulse exactly at cycle 2");
+        prop_assert!(outs[3].is_empty());
+    }
+
+    /// Trigger accounting conservation: pops + pending + drops equals
+    /// the number of accepted triggers, for arbitrary event sequences.
+    #[test]
+    fn trigger_unit_conserves_tokens(
+        depth in 0usize..6,
+        events in proptest::collection::vec(any::<u64>(), 1..64),
+        mask in any::<u64>(),
+        pop_every in 1u8..5,
+    ) {
+        let mut t = TriggerUnit::new(depth);
+        t.set_mask(EventVector::from_bits(mask));
+        let mut pops = 0u64;
+        for (i, &e) in events.iter().enumerate() {
+            t.sample(EventVector::from_bits(e), i as u64);
+            if i % usize::from(pop_every) == 0 && t.pop().is_some() {
+                pops += 1;
+            }
+        }
+        let pending = t.pending() as u64;
+        prop_assert_eq!(t.triggers(), pops + pending + t.drops());
+        prop_assert!(pending <= depth as u64);
+    }
+
+    /// Round-robin fairness: for persistent requesters, grant counts
+    /// never differ by more than one, for any requester subset.
+    #[test]
+    fn round_robin_is_fair_for_any_subset(
+        n in 1usize..8,
+        subset in any::<u8>(),
+        rounds in 10usize..200,
+    ) {
+        let requests: Vec<bool> = (0..n).map(|i| subset & (1 << i) != 0).collect();
+        prop_assume!(requests.iter().any(|&r| r));
+        let mut rr = RoundRobin::new();
+        let mut grants = vec![0u64; n];
+        for _ in 0..rounds {
+            let g = rr.grant(&requests).expect("someone requests");
+            prop_assert!(requests[g], "only requesters are granted");
+            grants[g] += 1;
+        }
+        let active: Vec<u64> = grants
+            .iter()
+            .zip(&requests)
+            .filter(|(_, &r)| r)
+            .map(|(&g, _)| g)
+            .collect();
+        let min = active.iter().min().expect("non-empty");
+        let max = active.iter().max().expect("non-empty");
+        prop_assert!(max - min <= 1, "grants {grants:?} for requests {requests:?}");
+    }
+
+    /// Power is monotone in activity: adding events never lowers the
+    /// reported total.
+    #[test]
+    fn power_is_monotone_in_activity(
+        base in proptest::collection::vec((0usize..4, 0u64..1000), 0..16),
+        extra_kind in 0usize..4,
+        extra in 1u64..1000,
+    ) {
+        let kinds = [
+            ActivityKind::SramRead,
+            ActivityKind::BusTransfer,
+            ActivityKind::InstrRetired,
+            ActivityKind::ClockCycle,
+        ];
+        let mut model = PowerModel::new(Calibration::tsmc65());
+        model.add_component("x", 20.0);
+        let mut a = ActivitySet::new();
+        for (k, n) in base {
+            a.record("x", kinds[k], n);
+        }
+        let window = SimTime::from_us(10);
+        let before = model.report(&a, window).total().as_uw();
+        a.record("x", kinds[extra_kind], extra);
+        let after = model.report(&a, window).total().as_uw();
+        prop_assert!(after >= before, "{after} < {before}");
+    }
+
+    /// A `jump-if` with any condition either falls through or redirects —
+    /// and the destination command executes in both cases (no lost
+    /// control flow), for arbitrary operands and datapath values.
+    #[test]
+    fn jump_if_always_reaches_a_pulse(cond_idx in 0usize..6, operand in any::<u32>()) {
+        let cond = [Cond::Eq, Cond::Ne, Cond::LtU, Cond::GeU, Cond::LtS, Cond::GeS][cond_idx];
+        // dpr is 0 (no capture ran). Both paths pulse a different line.
+        let program = Program::new(vec![
+            Command::JumpIf { cond, target: 3, operand },
+            Command::Action { mode: ActionMode::Pulse, group: 0, mask: 1 },
+            Command::Halt,
+            Command::Action { mode: ActionMode::Pulse, group: 0, mask: 2 },
+        ]).expect("valid");
+        let mut pels = PelsBuilder::new().links(1).scm_lines(4).build();
+        pels.link_mut(0).set_mask(EventVector::mask_of(&[0]));
+        pels.link_mut(0).load_program(&program).expect("fits");
+        let mut trace = Trace::disabled();
+        let mut bus = NoBus;
+        let mut seen = EventVector::EMPTY;
+        let mut ev = EventVector::mask_of(&[0]);
+        for cycle in 0..12u64 {
+            seen |= pels.tick(ev, SimTime::from_ps(cycle * 1000), &mut bus, &mut trace);
+            ev = EventVector::EMPTY;
+        }
+        let taken = cond.eval(0, operand);
+        prop_assert_eq!(seen.is_set(1), taken, "taken path pulses line 1");
+        prop_assert_eq!(seen.is_set(0), !taken, "fall-through pulses line 0");
+        prop_assert!(!pels.is_busy(), "program halted either way");
+    }
+}
