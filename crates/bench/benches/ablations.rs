@@ -1,26 +1,15 @@
-//! Criterion bench: the design-choice ablations of DESIGN.md.
+//! Bench: the design-choice ablations of DESIGN.md.
 //!
 //! Times the SCM-vs-shared-fetch, trigger-FIFO, arbitration and topology
 //! studies (their *results* are asserted in the `pels-bench` unit tests).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pels_bench::ablations;
+use pels_bench::harness::Bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("scm_vs_shared_fetch", |b| {
-        b.iter(ablations::scm_vs_shared_fetch)
-    });
-    g.bench_function("fifo_depth_sweep", |b| b.iter(ablations::fifo_depth_sweep));
-    g.bench_function("arbiter_contention", |b| {
-        b.iter(ablations::arbiter_contention)
-    });
-    g.bench_function("topology_contention", |b| {
-        b.iter(ablations::topology_contention)
-    });
-    g.finish();
+fn main() {
+    let bench = Bench::from_args("ablations").sample_size(10);
+    bench.run("scm_vs_shared_fetch", ablations::scm_vs_shared_fetch);
+    bench.run("fifo_depth_sweep", ablations::fifo_depth_sweep);
+    bench.run("arbiter_contention", ablations::arbiter_contention);
+    bench.run("topology_contention", ablations::topology_contention);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,17 @@
-//! Criterion bench: the Figure 3 per-stage latency measurement.
+//! Bench: the Figure 3 per-stage latency measurement.
 //!
 //! Regenerates: paper Figure 3 (stage latencies are *asserted* in the
 //! `pels-bench` unit tests; this bench times the cycle-accurate run that
 //! produces them).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pels_bench::experiments;
+use pels_bench::harness::Bench;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("fig3/per_stage_measurement", |b| {
-        b.iter(|| {
-            let rows = experiments::fig3();
-            assert_eq!(rows.len(), 4);
-            rows
-        })
+fn main() {
+    let bench = Bench::from_args("fig3").sample_size(10);
+    bench.run("per_stage_measurement", || {
+        let rows = experiments::fig3();
+        assert_eq!(rows.len(), 4);
+        rows
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

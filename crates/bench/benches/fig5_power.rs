@@ -1,24 +1,19 @@
-//! Criterion bench: the Figure 5 power evaluation.
+//! Bench: the Figure 5 power evaluation.
 //!
 //! Regenerates: paper Figure 5 — the iso-latency and iso-frequency power
 //! comparison between PELS-mediated and Ibex-interrupt-mediated linking.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pels_bench::experiments;
+use pels_bench::harness::Bench;
 use pels_soc::{Mediator, Scenario};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
-    g.bench_function("iso_latency_pels_run", |b| {
-        b.iter(|| Scenario::iso_latency(Mediator::PelsSequenced).run())
+fn main() {
+    let bench = Bench::from_args("fig5").sample_size(10);
+    bench.run("iso_latency_pels_run", || {
+        Scenario::iso_latency(Mediator::PelsSequenced).run()
     });
-    g.bench_function("iso_latency_ibex_run", |b| {
-        b.iter(|| Scenario::iso_latency(Mediator::IbexIrq).run())
+    bench.run("iso_latency_ibex_run", || {
+        Scenario::iso_latency(Mediator::IbexIrq).run()
     });
-    g.bench_function("full_figure", |b| b.iter(experiments::fig5));
-    g.finish();
+    bench.run("full_figure", experiments::fig5);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

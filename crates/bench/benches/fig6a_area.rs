@@ -1,22 +1,18 @@
-//! Criterion bench: the Figure 6a area sweep.
+//! Bench: the Figure 6a area sweep.
 //!
 //! Regenerates: paper Figure 6a — PELS kGE over links × SCM lines against
 //! the Ibex / PicoRV32 reference lines.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pels_bench::experiments;
+use pels_bench::harness::Bench;
 use pels_power::pels_area_kge;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("fig6a/sweep", |b| {
-        b.iter(|| {
-            let pts = experiments::fig6a();
-            assert_eq!(pts.len(), 24);
-            pts
-        })
+fn main() {
+    let bench = Bench::from_args("fig6a").sample_size(10);
+    bench.run("sweep", || {
+        let pts = experiments::fig6a();
+        assert_eq!(pts.len(), 24);
+        pts
     });
-    c.bench_function("fig6a/single_point", |b| b.iter(|| pels_area_kge(4, 6)));
+    bench.run("single_point", || pels_area_kge(4, 6));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

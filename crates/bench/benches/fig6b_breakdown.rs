@@ -1,20 +1,16 @@
-//! Criterion bench: the Figure 6b PULPissimo breakdown.
+//! Bench: the Figure 6b PULPissimo breakdown.
 //!
 //! Regenerates: paper Figure 6b — the share of PULPissimo area a 4-link
 //! PELS occupies, with and without the 192 KiB L2 SRAM.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pels_bench::harness::Bench;
 use pels_power::pulpissimo_breakdown;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("fig6b/breakdown", |b| {
-        b.iter(|| {
-            let (blocks, frac_logic, frac_sram) = pulpissimo_breakdown(4, 6);
-            assert!(frac_logic > frac_sram);
-            blocks
-        })
+fn main() {
+    let bench = Bench::from_args("fig6b").sample_size(10);
+    bench.run("breakdown", || {
+        let (blocks, frac_logic, frac_sram) = pulpissimo_breakdown(4, 6);
+        assert!(frac_logic > frac_sram);
+        blocks
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,18 @@
-//! Criterion bench: the Section IV-B latency comparison.
+//! Bench: the Section IV-B latency comparison.
 //!
 //! Regenerates: the 2 / 7 / 16-cycle linking-latency table (instant,
 //! sequenced, Ibex interrupt).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pels_bench::harness::Bench;
 use pels_soc::{Mediator, Scenario};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("latency_paths");
-    g.sample_size(10);
+fn main() {
+    let bench = Bench::from_args("latency_paths").sample_size(10);
     for (name, mediator) in [
         ("instant", Mediator::PelsInstant),
         ("sequenced", Mediator::PelsSequenced),
         ("ibex_irq", Mediator::IbexIrq),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| Scenario::latency_probe(mediator).run().stats)
-        });
+        bench.run(name, || Scenario::latency_probe(mediator).run().stats);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,48 +1,45 @@
-//! Criterion bench: raw simulation throughput (SoC cycles per second of
-//! host time) — the meta-benchmark for the behavioural substrate itself,
-//! across PELS configurations and mediators.
+//! Bench: raw simulation throughput (SoC cycles per second of host
+//! time) — the meta-benchmark for the behavioural substrate itself,
+//! across PELS configurations, the naive-scheduler baseline, and both
+//! mediators.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pels_bench::harness::Bench;
+use pels_bench::throughput;
 use pels_soc::{Mediator, Scenario, SocBuilder};
 
 const CYCLES: u64 = 10_000;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_throughput");
-    g.throughput(Throughput::Elements(CYCLES));
+fn main() {
+    let bench = Bench::from_args("sim_throughput").sample_size(10);
 
     for links in [1usize, 4, 8] {
-        g.bench_with_input(
-            BenchmarkId::new("idle_soc_links", links),
-            &links,
-            |b, &links| {
-                b.iter(|| {
-                    let mut soc = SocBuilder::new().pels_links(links).build();
-                    soc.trace_mut().set_enabled(false);
-                    soc.run(CYCLES);
-                    soc.cycle()
-                })
-            },
-        );
+        bench.run_throughput(&format!("idle_soc_links/{links}"), CYCLES, || {
+            let mut soc = SocBuilder::new().pels_links(links).build();
+            soc.trace_mut().set_enabled(false);
+            soc.run(CYCLES);
+            soc.cycle()
+        });
     }
+
+    // The naive every-cycle baseline the quiescence scheduler replaces.
+    bench.run_throughput("idle_soc_naive", CYCLES, || {
+        let mut soc = SocBuilder::new().build();
+        soc.set_naive_scheduling(true);
+        soc.trace_mut().set_enabled(false);
+        soc.run(CYCLES);
+        soc.cycle()
+    });
 
     for mediator in [Mediator::PelsSequenced, Mediator::IbexIrq] {
-        g.bench_with_input(
-            BenchmarkId::new("linking_workload", mediator.to_string()),
-            &mediator,
-            |b, &mediator| {
-                let mut s = Scenario::iso_frequency(mediator);
-                s.events = 50;
-                b.iter(|| s.run().events_completed)
-            },
-        );
+        let mut s = Scenario::iso_frequency(mediator);
+        s.events = 50;
+        bench.run(&format!("linking_workload/{mediator}"), || {
+            s.run().events_completed
+        });
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
+    // The tracked artifact rows (the same measurement `reproduce
+    // sim_throughput` writes to BENCH_sim_throughput.json).
+    let rows = throughput::measure(3);
+    print!("{}", throughput::render(&rows));
 }
-criterion_main!(benches);

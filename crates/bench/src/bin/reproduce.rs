@@ -6,13 +6,23 @@
 //! ```
 //!
 //! Artifacts: `table1`, `fig3`, `fig5`, `latency`, `fig6a`, `fig6b`,
-//! `ablations`, `extensions`.
+//! `ablations`, `extensions`, `sim_throughput` (which additionally
+//! writes `BENCH_sim_throughput.json` so the simulator's own speed is
+//! tracked across PRs).
 
-use pels_bench::{ablations, experiments, sota};
+use pels_bench::{ablations, experiments, sota, throughput};
 use std::process::ExitCode;
 
 const ALL: &[&str] = &[
-    "table1", "fig3", "latency", "fig5", "fig6a", "fig6b", "ablations", "extensions",
+    "table1",
+    "fig3",
+    "latency",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "ablations",
+    "extensions",
+    "sim_throughput",
 ];
 
 fn run_one(artifact: &str) -> Result<(), String> {
@@ -31,6 +41,13 @@ fn run_one(artifact: &str) -> Result<(), String> {
         "fig6b" => experiments::render_fig6b(),
         "ablations" => ablations::render_all(),
         "extensions" => experiments::render_extension_link_power(),
+        "sim_throughput" => {
+            let rows = throughput::measure(10);
+            let json = throughput::to_json(&rows);
+            std::fs::write("BENCH_sim_throughput.json", &json)
+                .map_err(|e| format!("writing BENCH_sim_throughput.json: {e}"))?;
+            format!("{}(wrote BENCH_sim_throughput.json)\n", throughput::render(&rows))
+        }
         other => return Err(format!("unknown artifact `{other}` (expected one of {ALL:?})")),
     };
     println!("================================================================");

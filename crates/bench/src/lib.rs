@@ -10,15 +10,19 @@
 //!   sweep) and **Figure 6b** (PULPissimo area breakdown);
 //! * [`ablations`] — the design-choice studies DESIGN.md calls out:
 //!   private SCM vs shared-memory fetch, trigger-FIFO depth, arbitration
-//!   policy and fabric topology.
+//!   policy and fabric topology;
+//! * [`throughput`] — the simulator's own cycles-per-second meta-
+//!   benchmark, tracked across PRs (`BENCH_sim_throughput.json`).
 //!
-//! The `reproduce` binary renders all of them as text tables;
-//! the Criterion benches under `benches/` time the underlying
-//! simulations.
+//! The `reproduce` binary renders all of them as text tables; the
+//! benches under `benches/` (plain `harness = false` binaries driven by
+//! [`harness`]) time the underlying simulations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod experiments;
+pub mod harness;
 pub mod sota;
+pub mod throughput;

@@ -1,0 +1,172 @@
+//! Raw simulation-throughput measurement (simulated SoC cycles per
+//! wall-clock second) — the meta-benchmark for the behavioural substrate
+//! itself, tracked across PRs via `BENCH_sim_throughput.json`.
+//!
+//! Three workloads bound the space:
+//!
+//! * **idle SoC** — CPU parked in `wfi`, all peripherals quiescent: the
+//!   dominant state of the paper's duty-cycled ULP workloads and the one
+//!   the quiescence-aware scheduler accelerates. Measured on both the
+//!   fast path and the naive every-cycle path so the speedup itself is a
+//!   tracked number.
+//! * **linking workload** — the iso-frequency PELS-mediated sensing
+//!   scenario (events actually flow through trigger/exec every period).
+//! * **IRQ baseline** — the same scenario mediated by Ibex interrupts
+//!   (CPU wake/sleep traffic every event).
+
+use crate::harness::{fmt_rate, Bench};
+use pels_sim::Frequency;
+use pels_soc::{Mediator, Scenario, SocBuilder};
+use pels_cpu::asm;
+use pels_soc::mem_map::RESET_PC;
+
+/// Simulated cycles per idle-SoC measurement iteration.
+pub const IDLE_CYCLES: u64 = 200_000;
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Workload key (stable across PRs; used as the JSON field name).
+    pub name: &'static str,
+    /// Simulated SoC cycles per iteration.
+    pub cycles: u64,
+    /// Simulated cycles per wall-clock second (median-of-samples).
+    pub cycles_per_sec: f64,
+}
+
+fn idle_soc(naive: bool) -> pels_soc::Soc {
+    let mut soc = SocBuilder::new().build();
+    soc.set_naive_scheduling(naive);
+    soc.trace_mut().set_enabled(false);
+    soc.load_program(RESET_PC, &[asm::wfi(), asm::jal(0, -4)]);
+    soc
+}
+
+fn scenario_cycles(mediator: Mediator) -> (Scenario, u64) {
+    let s = Scenario::iso_frequency(mediator);
+    let r = s.run();
+    let window = r.active_window.checked_add(r.idle_window).expect("window fits");
+    let cycles = Frequency::from_mhz(r.freq.as_mhz()).cycles_in(window);
+    (s, cycles)
+}
+
+/// Runs all workloads with `samples` timing samples each.
+pub fn measure(samples: usize) -> Vec<ThroughputRow> {
+    let bench = Bench::new("sim_throughput", samples);
+    let mut rows = Vec::new();
+
+    for (name, naive) in [("idle_soc", false), ("idle_soc_naive", true)] {
+        let rate = bench.run_throughput(name, IDLE_CYCLES, || {
+            let mut soc = idle_soc(naive);
+            soc.run(IDLE_CYCLES);
+            soc.cycle()
+        });
+        rows.push(ThroughputRow {
+            name,
+            cycles: IDLE_CYCLES,
+            cycles_per_sec: rate,
+        });
+    }
+
+    for (name, mediator) in [
+        ("linking_workload", Mediator::PelsSequenced),
+        ("irq_baseline", Mediator::IbexIrq),
+    ] {
+        let (s, cycles) = scenario_cycles(mediator);
+        let rate = bench.run_throughput(name, cycles, || s.run().events_completed);
+        rows.push(ThroughputRow {
+            name,
+            cycles,
+            cycles_per_sec: rate,
+        });
+    }
+    rows
+}
+
+/// The idle-path speedup (fast over naive) from a measured row set.
+pub fn idle_speedup(rows: &[ThroughputRow]) -> Option<f64> {
+    let fast = rows.iter().find(|r| r.name == "idle_soc")?;
+    let naive = rows.iter().find(|r| r.name == "idle_soc_naive")?;
+    Some(fast.cycles_per_sec / naive.cycles_per_sec)
+}
+
+/// Renders the human-readable summary.
+pub fn render(rows: &[ThroughputRow]) -> String {
+    let mut s = String::from("sim_throughput - simulated SoC cycles per host second\n");
+    for r in rows {
+        s.push_str(&format!(
+            "  {:<18} {:>10}cycles/s   ({} simulated cycles/iter)\n",
+            r.name,
+            fmt_rate(r.cycles_per_sec),
+            r.cycles,
+        ));
+    }
+    if let Some(x) = idle_speedup(rows) {
+        s.push_str(&format!(
+            "  idle-path speedup (quiescence scheduler vs naive): {x:.1}x\n"
+        ));
+    }
+    s
+}
+
+/// Serializes the rows as the `BENCH_sim_throughput.json` artifact (flat
+/// object so downstream diffing stays trivial; no serde in the offline
+/// graph).
+pub fn to_json(rows: &[ThroughputRow]) -> String {
+    let mut s = String::from("{\n");
+    for r in rows {
+        s.push_str(&format!(
+            "  \"{}_cycles_per_sec\": {:.1},\n",
+            r.name, r.cycles_per_sec
+        ));
+    }
+    if let Some(x) = idle_speedup(rows) {
+        s.push_str(&format!("  \"idle_speedup\": {x:.2},\n"));
+    }
+    s.push_str(&format!("  \"idle_cycles_per_iter\": {IDLE_CYCLES}\n}}\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed() {
+        let rows = vec![
+            ThroughputRow {
+                name: "idle_soc",
+                cycles: 10,
+                cycles_per_sec: 2e6,
+            },
+            ThroughputRow {
+                name: "idle_soc_naive",
+                cycles: 10,
+                cycles_per_sec: 5e5,
+            },
+        ];
+        let j = to_json(&rows);
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"idle_soc_cycles_per_sec\": 2000000.0"));
+        assert!(j.contains("\"idle_speedup\": 4.00"));
+        // No trailing comma before the closing brace.
+        assert!(!j.contains(",\n}"));
+    }
+
+    #[test]
+    fn speedup_needs_both_rows() {
+        assert!(idle_speedup(&[]).is_none());
+    }
+
+    #[test]
+    fn idle_soc_workloads_simulate_identically() {
+        // The measurement must time identical simulations: same final
+        // cycle on both scheduler paths.
+        let mut fast = idle_soc(false);
+        let mut naive = idle_soc(true);
+        fast.run(500);
+        naive.run(500);
+        assert_eq!(fast.cycle(), naive.cycle());
+        assert_eq!(fast.cpu().cycles(), naive.cpu().cycles());
+    }
+}

@@ -21,7 +21,7 @@
 use crate::command::{ActionMode, Command};
 use crate::scm::Scm;
 use crate::trigger::TriggerUnit;
-use pels_sim::{EventVector, SimTime, Trace};
+use pels_sim::{ComponentId, EventVector, SimTime, Trace};
 
 /// The bus port a link masters sequenced actions on.
 ///
@@ -84,6 +84,12 @@ impl ActionLines {
         self.latched
     }
 
+    /// Whether no one-cycle pulse is currently raised (the image is pure
+    /// latched levels and therefore stable across idle cycles).
+    pub fn pulses_clear(&self) -> bool {
+        self.pulses.is_empty()
+    }
+
     /// Clears the one-cycle pulses (called by the PELS top at the end of
     /// each cycle).
     pub fn end_cycle(&mut self) {
@@ -103,8 +109,8 @@ pub struct ExecCtx<'a> {
     pub actions: &'a mut ActionLines,
     /// Trace sink.
     pub trace: &'a mut Trace,
-    /// Trace source name (e.g. `pels.link0`).
-    pub name: &'a str,
+    /// Trace source id (e.g. the interned `pels.link0`).
+    pub id: ComponentId,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -254,7 +260,7 @@ impl ExecutionUnit {
                         State::Execute
                     };
                     self.stats.busy_cycles += 1;
-                    ctx.trace.record(ctx.time, ctx.name, "trigger", ctx.cycle);
+                    ctx.trace.record(ctx.time, ctx.id, "trigger", ctx.cycle);
                 }
             }
             State::Fetch => {
@@ -283,7 +289,7 @@ impl ExecutionUnit {
                                 self.dpr = rdata & mask;
                                 ctx.trace.record(
                                     ctx.time,
-                                    ctx.name,
+                                    ctx.id,
                                     "capture",
                                     u64::from(self.dpr),
                                 );
@@ -358,7 +364,7 @@ impl ExecutionUnit {
 
     fn bus_error(&mut self, ctx: &mut ExecCtx<'_>) {
         self.stats.bus_errors += 1;
-        ctx.trace.record(ctx.time, ctx.name, "bus_error", ctx.cycle);
+        ctx.trace.record(ctx.time, ctx.id, "bus_error", ctx.cycle);
         self.finish_program();
     }
 
@@ -367,13 +373,13 @@ impl ExecutionUnit {
         match cmd {
             Command::Nop => self.advance(),
             Command::Halt => {
-                ctx.trace.record(ctx.time, ctx.name, "halt", ctx.cycle);
+                ctx.trace.record(ctx.time, ctx.id, "halt", ctx.cycle);
                 self.finish_program();
             }
             Command::Action { mode, group, mask } => {
                 ctx.actions.apply(mode, group, mask);
                 ctx.trace
-                    .record(ctx.time, ctx.name, "action", u64::from(mask));
+                    .record(ctx.time, ctx.id, "action", u64::from(mask));
                 self.advance();
             }
             Command::Wait { cycles } => {
@@ -539,7 +545,7 @@ mod tests {
                 bus: &mut self.bus,
                 actions: &mut self.actions,
                 trace: &mut self.trace,
-                name: "link0",
+                id: ComponentId::intern("link0"),
             };
             self.exec.step(&mut self.scm, &mut self.trigger, &mut ctx);
             self.bus.tick();

@@ -11,7 +11,7 @@ use crate::exec::{ExecCtx, ExecutionUnit, LinkBus, ActionLines};
 use crate::program::Program;
 use crate::scm::{Scm, ScmCapacityError};
 use crate::trigger::{TriggerCond, TriggerUnit};
-use pels_sim::{ActivityKind, ActivitySet, EventVector, SimTime, Trace};
+use pels_sim::{ActivityKind, ActivitySet, ComponentId, EventVector, SimTime, Trace};
 
 /// Default trigger-FIFO depth (matches a small RTL FIFO).
 pub const DEFAULT_FIFO_DEPTH: usize = 4;
@@ -19,7 +19,7 @@ pub const DEFAULT_FIFO_DEPTH: usize = 4;
 /// A single link: trigger unit + SCM + execution unit.
 #[derive(Debug)]
 pub struct Link {
-    name: String,
+    id: ComponentId,
     trigger: TriggerUnit,
     scm: Scm,
     exec: ExecutionUnit,
@@ -38,7 +38,7 @@ impl Link {
     /// ablation uses depth 0).
     pub fn with_fifo_depth(index: usize, scm_lines: usize, fifo_depth: usize) -> Self {
         Link {
-            name: format!("pels.link{index}"),
+            id: ComponentId::intern(&format!("pels.link{index}")),
             trigger: TriggerUnit::new(fifo_depth),
             scm: Scm::new(scm_lines),
             exec: ExecutionUnit::new(),
@@ -47,8 +47,13 @@ impl Link {
     }
 
     /// The link's hierarchical name (`pels.linkN`).
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.id.name()
+    }
+
+    /// The link's interned component id.
+    pub fn component(&self) -> ComponentId {
+        self.id
     }
 
     /// The trigger unit (mask / condition configuration).
@@ -122,6 +127,16 @@ impl Link {
         self.exec.is_busy()
     }
 
+    /// Whether a tick with no incoming events would be a complete no-op
+    /// for this link: nothing executing, nothing buffered, and the
+    /// trigger condition cannot fire on an empty event image (a
+    /// degenerate `AtLeast(0)` condition can).
+    pub fn is_quiescent(&self) -> bool {
+        !self.exec.is_busy()
+            && self.trigger.pending() == 0
+            && !self.trigger.matches(EventVector::EMPTY)
+    }
+
     /// Samples the broadcast events (trigger stage) — call once per cycle
     /// *before* [`Link::step_exec`].
     pub fn sample_events(&mut self, events: EventVector, cycle: u64) -> bool {
@@ -143,7 +158,7 @@ impl Link {
             bus,
             actions,
             trace,
-            name: &self.name,
+            id: self.id,
         };
         self.exec.step(&mut self.scm, &mut self.trigger, &mut ctx);
     }
@@ -155,16 +170,16 @@ impl Link {
     /// windows compose.
     pub fn drain_activity(&mut self, into: &mut ActivitySet) {
         let (reads, writes) = self.scm.take_access_counts();
-        into.record(&self.name, ActivityKind::ScmRead, reads);
-        into.record(&self.name, ActivityKind::ScmWrite, writes);
+        into.record(self.id, ActivityKind::ScmRead, reads);
+        into.record(self.id, ActivityKind::ScmWrite, writes);
         let stats = self.exec.stats();
         into.record(
-            &self.name,
+            self.id,
             ActivityKind::ActiveCycle,
             stats.busy_cycles - self.reported.busy_cycles,
         );
         into.record(
-            &self.name,
+            self.id,
             ActivityKind::InstrRetired,
             stats.commands - self.reported.commands,
         );

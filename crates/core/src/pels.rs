@@ -270,6 +270,19 @@ impl Pels {
             return EventVector::EMPTY;
         }
 
+        // Quiescent fast path: no events arriving and every link idle
+        // with an empty FIFO. Execution units would not change state and
+        // no trigger can fire, so the output image is just the latched
+        // action levels, unchanged.
+        if (external_events | (self.prev_actions & self.config.loopback)).is_empty()
+            && self.links.iter().all(Link::is_quiescent)
+        {
+            let visible = self.actions.current();
+            self.prev_actions = visible;
+            self.actions.end_cycle();
+            return visible;
+        }
+
         // 1. Execution units run on previously buffered triggers.
         for (i, link) in self.links.iter_mut().enumerate() {
             let mut port = LinkPort { bus, link: i };
@@ -296,6 +309,35 @@ impl Pels {
         for link in &mut self.links {
             link.drain_activity(into);
         }
+    }
+
+    /// If every tick with `external` events would be a pure no-op —
+    /// nothing executing or buffered, no pulse raised, no trigger able to
+    /// fire, and the output image already latched — returns that stable
+    /// output image. Used by the SoC's quiescence scheduler to skip whole
+    /// idle spans; [`Pels::skip_cycles`] accounts the span afterwards.
+    pub fn steady_output(&self, external: EventVector) -> Option<EventVector> {
+        if !self.enabled {
+            return if self.prev_actions.is_empty() {
+                Some(EventVector::EMPTY)
+            } else {
+                None
+            };
+        }
+        let visible = self.actions.current();
+        let steady = self.actions.pulses_clear()
+            && visible == self.prev_actions
+            && (external | (visible & self.config.loopback)).is_empty()
+            && self.links.iter().all(Link::is_quiescent);
+        steady.then_some(visible)
+    }
+
+    /// Advances the cycle counter by `k` without ticking — the
+    /// whole-span equivalent of `k` quiescent ticks. Callers must have
+    /// checked [`Pels::steady_output`].
+    pub fn skip_cycles(&mut self, k: u64) {
+        debug_assert!(self.steady_output(EventVector::EMPTY).is_some());
+        self.cycle += k;
     }
 }
 

@@ -7,7 +7,7 @@ use crate::decode::{decode, DecodeError};
 use crate::instr::{AluOp, BranchOp, CsrOp, CsrSrc, Instr, LoadOp, MulDivOp, StoreOp};
 use crate::regs::RegFile;
 use crate::timing;
-use pels_sim::{ActivityKind, ActivitySet};
+use pels_sim::{ActivityKind, ActivitySet, ComponentId};
 
 /// Why the core stopped executing (tests and scenarios use [`Instr::Ecall`]
 /// / [`Instr::Ebreak`] as a program-exit convention).
@@ -56,7 +56,7 @@ struct PendingLoad {
 /// multi-cycle instruction are modelled as stall.
 #[derive(Debug)]
 pub struct Cpu {
-    name: String,
+    id: ComponentId,
     pc: u32,
     regs: RegFile,
     /// Machine-mode CSRs (public: scenarios preset `mtvec`/`mie`).
@@ -86,9 +86,9 @@ impl Cpu {
     }
 
     /// Creates a core with an explicit activity/trace name.
-    pub fn with_name(name: impl Into<String>, reset_pc: u32) -> Self {
+    pub fn with_name(name: impl AsRef<str>, reset_pc: u32) -> Self {
         Cpu {
-            name: name.into(),
+            id: ComponentId::intern(name.as_ref()),
             pc: reset_pc,
             regs: RegFile::new(),
             csrs: CsrFile::new(),
@@ -163,6 +163,30 @@ impl Cpu {
     /// Cycles spent asleep in `wfi`.
     pub fn sleep_cycles(&self) -> u64 {
         self.sleep_cycles
+    }
+
+    /// Accounts `k` cycles of WFI sleep (or halt) in one step, exactly as
+    /// `k` calls to [`Cpu::tick`] would: `mcycle`/cycle/sleep counters
+    /// advance, nothing else changes. Returns `false` — with no state
+    /// mutated beyond mirroring `irq` into `mip`, which every tick does
+    /// anyway — when the core is running, stalled, or a pending enabled
+    /// interrupt would wake it, in which case the caller must tick
+    /// normally.
+    pub fn skip_idle_cycles(&mut self, k: u64, irq: u32) -> bool {
+        self.csrs.mip = irq;
+        match self.state {
+            CpuState::Halted => {}
+            CpuState::Sleeping => {
+                if self.csrs.pending_interrupt().is_some() {
+                    return false;
+                }
+                self.sleep_cycles += k;
+            }
+            _ => return false,
+        }
+        self.cycles += k;
+        self.csrs.mcycle += k;
+        true
     }
 
     /// Advances one clock cycle. `irq` carries the sampled interrupt
@@ -477,16 +501,16 @@ impl Cpu {
     /// Drains accumulated activity (fetches, retired instructions,
     /// register-file ports, interrupt overhead) into `into`.
     pub fn drain_activity(&mut self, into: &mut ActivitySet) {
-        into.record(&self.name, ActivityKind::InstrFetch, self.fetches);
-        into.record(&self.name, ActivityKind::InstrRetired, self.retired);
+        into.record(self.id, ActivityKind::InstrFetch, self.fetches);
+        into.record(self.id, ActivityKind::InstrRetired, self.retired);
         into.record(
-            &self.name,
+            self.id,
             ActivityKind::IrqOverhead,
             self.irq_overhead_cycles,
         );
         let (r, w) = self.regs.take_port_counts();
-        into.record(&self.name, ActivityKind::RegRead, r);
-        into.record(&self.name, ActivityKind::RegWrite, w);
+        into.record(self.id, ActivityKind::RegRead, r);
+        into.record(self.id, ActivityKind::RegWrite, w);
         self.fetches = 0;
         self.retired = 0;
         self.irq_overhead_cycles = 0;

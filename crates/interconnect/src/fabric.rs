@@ -3,7 +3,7 @@
 use crate::addr::{AddrRange, AddressMap};
 use crate::apb::{ApbRequest, ApbResponse, ApbSlave, BusError, Dir};
 use crate::arbiter::{Arbiter, ArbiterKind};
-use pels_sim::{ActivityKind, ActivitySet};
+use pels_sim::{ActivityKind, ActivitySet, ComponentId};
 use std::fmt;
 
 /// Handle to a master port, returned by [`ApbFabric::add_master`].
@@ -87,7 +87,7 @@ struct InFlight {
 
 #[derive(Debug)]
 struct MasterPort {
-    name: String,
+    id: ComponentId,
     pending: Option<ApbRequest>,
     response: Option<ApbResponse>,
     stall_cycles: u64,
@@ -115,6 +115,10 @@ pub struct ApbFabric<S> {
     arbiters: Vec<Box<dyn Arbiter>>,
     cycle: u64,
     stats: FabricStats,
+    id: ComponentId,
+    /// Slaves whose `read`/`write` executed during the most recent tick
+    /// (bit per slave index).
+    touched: u64,
 }
 
 impl<S: ApbSlave> ApbFabric<S> {
@@ -141,6 +145,8 @@ impl<S: ApbSlave> ApbFabric<S> {
             arbiters: Vec::new(),
             cycle: 0,
             stats: FabricStats::default(),
+            id: ComponentId::intern("fabric"),
+            touched: 0,
         };
         fabric.rebuild_lanes();
         fabric
@@ -167,9 +173,9 @@ impl<S: ApbSlave> ApbFabric<S> {
     }
 
     /// Registers a master port.
-    pub fn add_master(&mut self, name: impl Into<String>) -> MasterId {
+    pub fn add_master(&mut self, name: impl AsRef<str>) -> MasterId {
         self.masters.push(MasterPort {
-            name: name.into(),
+            id: ComponentId::intern(name.as_ref()),
             pending: None,
             response: None,
             stall_cycles: 0,
@@ -225,7 +231,7 @@ impl<S: ApbSlave> ApbFabric<S> {
 
     /// Name given to a master port.
     pub fn master_name(&self, id: MasterId) -> &str {
-        &self.masters[id.0].name
+        self.masters[id.0].id.name()
     }
 
     /// Whether `master` can accept a new request this cycle.
@@ -298,6 +304,16 @@ impl<S: ApbSlave> ApbFabric<S> {
     /// Completion and a new grant never share a lane in one cycle, giving
     /// the APB back-to-back rate of one transfer per two cycles.
     pub fn tick(&mut self) {
+        self.touched = 0;
+        // Quiescent fast path: nothing pending, nothing in flight. Only
+        // the cycle counter advances — stall/busy accounting would be
+        // zero this cycle anyway.
+        if self.masters.iter().all(|p| p.pending.is_none())
+            && self.lanes.iter().all(Option::is_none)
+        {
+            self.cycle += 1;
+            return;
+        }
         let lanes_free_at_start: Vec<bool> = self.lanes.iter().map(|l| l.is_none()).collect();
 
         // Phase 1: advance in-flight transfers.
@@ -408,6 +424,9 @@ impl<S: ApbSlave> ApbFabric<S> {
                 })
             }
             Some((slave, offset)) => {
+                if slave < 64 {
+                    self.touched |= 1 << slave;
+                }
                 let r = match flight.request.dir {
                     Dir::Read => self.slaves[slave].read(offset),
                     Dir::Write => self.slaves[slave]
@@ -422,15 +441,62 @@ impl<S: ApbSlave> ApbFabric<S> {
         }
     }
 
+    /// Slaves whose `read`/`write` executed during the most recent
+    /// [`ApbFabric::tick`], as a bit-per-slave-index mask. Slave indexes
+    /// ≥ 64 are not representable (no SoC here comes close).
+    pub fn touched_slaves(&self) -> u64 {
+        self.touched
+    }
+
+    /// Whether the fabric is completely idle: no request pending at any
+    /// master port and no transfer in flight on any lane. A quiescent
+    /// fabric's [`ApbFabric::tick`] only advances the cycle counter.
+    pub fn is_quiescent(&self) -> bool {
+        self.masters.iter().all(|p| p.pending.is_none())
+            && self.lanes.iter().all(Option::is_none)
+    }
+
+    /// Advances the cycle counter by `k` without ticking — the
+    /// whole-span equivalent of `k` quiescent [`ApbFabric::tick`]s.
+    /// Callers must have checked [`ApbFabric::is_quiescent`].
+    pub fn skip_cycles(&mut self, k: u64) {
+        debug_assert!(self.is_quiescent());
+        self.cycle += k;
+    }
+
+    /// Slaves targeted by a pending or in-flight request right now, as a
+    /// bit-per-slave-index mask. A slave in this mask will be read or
+    /// written on some upcoming tick unless the master withdraws.
+    pub fn targeted_slaves(&self) -> u64 {
+        let mut mask = 0u64;
+        for port in &self.masters {
+            if let Some(req) = port.pending {
+                if let Some((slave, _)) = self.map.decode(req.addr) {
+                    if slave < 64 {
+                        mask |= 1 << slave;
+                    }
+                }
+            }
+        }
+        for flight in self.lanes.iter().flatten() {
+            if let Some((slave, _)) = flight.target {
+                if slave < 64 {
+                    mask |= 1 << slave;
+                }
+            }
+        }
+        mask
+    }
+
     /// Drains per-master stall counts and aggregate transfer counts into an
     /// [`ActivitySet`]; counters restart from zero.
     pub fn drain_activity(&mut self, into: &mut ActivitySet) {
         for port in &mut self.masters {
-            into.record(&port.name, ActivityKind::BusStall, port.stall_cycles);
+            into.record(port.id, ActivityKind::BusStall, port.stall_cycles);
             port.stall_cycles = 0;
         }
-        into.record("fabric", ActivityKind::BusTransfer, self.stats.transfers);
-        into.record("fabric", ActivityKind::ActiveCycle, self.stats.busy_cycles);
+        into.record(self.id, ActivityKind::BusTransfer, self.stats.transfers);
+        into.record(self.id, ActivityKind::ActiveCycle, self.stats.busy_cycles);
         self.stats.transfers = 0;
         self.stats.busy_cycles = 0;
     }

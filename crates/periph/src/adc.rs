@@ -6,9 +6,9 @@
 //! incoming single-wire action line, and completion raises an event.
 
 use crate::sensor::Quantizer;
-use crate::traits::{PeriphCtx, Peripheral, RegAccessCounter};
+use crate::traits::{wake_mask_of, IdleHint, PeriphCtx, Peripheral, RegAccessCounter};
 use pels_interconnect::{ApbSlave, BusError};
-use pels_sim::ActivityKind;
+use pels_sim::{ActivityKind, ComponentId, EventVector};
 use std::fmt;
 
 /// A successive-approximation-style ADC model with a fixed conversion
@@ -27,7 +27,7 @@ use std::fmt;
 /// * [`Adc::wire_start_action`] — conversion starts when the line pulses;
 /// * [`Adc::wire_done_event`] — pulses when a conversion completes.
 pub struct Adc {
-    name: String,
+    id: ComponentId,
     quantizer: Quantizer,
     conversion_cycles: u32,
     countdown: u32,
@@ -42,7 +42,7 @@ pub struct Adc {
 impl fmt::Debug for Adc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Adc")
-            .field("name", &self.name)
+            .field("name", &self.id.name())
             .field("busy", &self.is_busy())
             .field("ready", &self.ready)
             .field("conversions", &self.conversions)
@@ -64,10 +64,10 @@ impl Adc {
     /// # Panics
     ///
     /// Panics if `conversion_cycles` is zero.
-    pub fn new(name: impl Into<String>, quantizer: Quantizer, conversion_cycles: u32) -> Self {
+    pub fn new(name: impl AsRef<str>, quantizer: Quantizer, conversion_cycles: u32) -> Self {
         assert!(conversion_cycles > 0, "conversion latency must be non-zero");
         Adc {
-            name: name.into(),
+            id: ComponentId::intern(name.as_ref()),
             quantizer,
             conversion_cycles,
             countdown: 0,
@@ -137,8 +137,8 @@ impl ApbSlave for Adc {
 }
 
 impl Peripheral for Adc {
-    fn name(&self) -> &str {
-        &self.name
+    fn component(&self) -> ComponentId {
+        self.id
     }
 
     fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
@@ -148,22 +148,35 @@ impl Peripheral for Adc {
         if !self.is_busy() {
             return;
         }
-        ctx.activity.record(&self.name, ActivityKind::ActiveCycle, 1);
+        ctx.activity.record(self.id, ActivityKind::ActiveCycle, 1);
         self.countdown -= 1;
         if self.countdown == 0 {
             self.data = self.quantizer.convert(ctx.time);
             self.ready = true;
             self.conversions += 1;
             if let Some(line) = self.done_line {
-                let name = self.name.clone();
-                ctx.raise(line, &name, "done");
+                ctx.raise(line, self.id, "done");
             }
         }
     }
 
+    fn idle_hint(&self) -> IdleHint {
+        // Conversions are short and count ActiveCycle each cycle, so a
+        // busy ADC just stays awake; an idle one only reacts to its start
+        // line or a register access.
+        if self.is_busy() {
+            IdleHint::Busy
+        } else {
+            IdleHint::Idle
+        }
+    }
+
+    fn wake_mask(&self) -> EventVector {
+        wake_mask_of(&[self.start_line])
+    }
+
     fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
-        let name = self.name.clone();
-        self.regs.drain(&name, into);
+        self.regs.drain(self.id, into);
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

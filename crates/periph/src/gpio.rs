@@ -5,9 +5,9 @@
 //! [`Gpio::PADOUTSET`]) or *toggles it via an instant action* (a single-wire
 //! line wired into the pad logic) — the two paths of Figure 3.
 
-use crate::traits::{PeriphCtx, Peripheral, RegAccessCounter};
+use crate::traits::{wake_mask_of, IdleHint, PeriphCtx, Peripheral, RegAccessCounter};
 use pels_interconnect::{ApbSlave, BusError};
-use pels_sim::ActivityKind;
+use pels_sim::{ActivityKind, ComponentId, EventVector};
 
 /// A 32-pin GPIO controller with set/clear/toggle registers and
 /// event-line-driven pad actions.
@@ -30,9 +30,9 @@ use pels_sim::ActivityKind;
 /// corresponding pad operation when pulsed — the peripheral-side support
 /// for *instant actions*. A rising edge on a watched output pin
 /// ([`Gpio::watch_pin`]) raises an outgoing event pulse.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Gpio {
-    name: String,
+    id: ComponentId,
     dir: u32,
     out: u32,
     input: u32,
@@ -61,10 +61,19 @@ impl Gpio {
     pub const PADOUTTGL: u32 = 0x14;
 
     /// Creates a GPIO instance named `name`.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl AsRef<str>) -> Self {
         Gpio {
-            name: name.into(),
-            ..Gpio::default()
+            id: ComponentId::intern(name.as_ref()),
+            dir: 0,
+            out: 0,
+            input: 0,
+            seen_out: 0,
+            set_action: None,
+            clear_action: None,
+            toggle_action: None,
+            watch: None,
+            regs: RegAccessCounter::default(),
+            pad_toggles: 0,
         }
     }
 
@@ -150,8 +159,8 @@ impl ApbSlave for Gpio {
 }
 
 impl Peripheral for Gpio {
-    fn name(&self) -> &str {
-        &self.name
+    fn component(&self) -> ComponentId {
+        self.id
     }
 
     fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
@@ -176,27 +185,40 @@ impl Peripheral for Gpio {
         if self.out != self.seen_out {
             let changed = self.out ^ self.seen_out;
             self.pad_toggles += u64::from(changed.count_ones());
-            ctx.activity.record(
-                &self.name,
-                ActivityKind::ActiveCycle,
-                1,
-            );
+            ctx.activity.record(self.id, ActivityKind::ActiveCycle, 1);
             ctx.trace
-                .record(ctx.time, &self.name, "padout", u64::from(self.out));
+                .record(ctx.time, self.id, "padout", u64::from(self.out));
             if let Some((pin, event_line)) = self.watch {
                 let rose = changed & self.out & (1 << pin) != 0;
                 if rose {
-                    let name = self.name.clone();
-                    ctx.raise(event_line, &name, "pin_rise");
+                    ctx.raise(event_line, self.id, "pin_rise");
                 }
             }
             self.seen_out = self.out;
         }
     }
 
+    fn idle_hint(&self) -> IdleHint {
+        // After a tick the pad state is fully reported (`seen_out` ==
+        // `out`); anything that could change it — an action-line pulse or
+        // an APB write — is a wake condition.
+        if self.out == self.seen_out {
+            IdleHint::Idle
+        } else {
+            IdleHint::Busy
+        }
+    }
+
+    fn wake_mask(&self) -> EventVector {
+        wake_mask_of(&[
+            self.set_action.map(|(l, _)| l),
+            self.clear_action.map(|(l, _)| l),
+            self.toggle_action.map(|(l, _)| l),
+        ])
+    }
+
     fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
-        let name = self.name.clone();
-        self.regs.drain(&name, into);
+        self.regs.drain(self.id, into);
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -11,9 +11,9 @@
 //! cycle cost, ACK/NACK handling and completion/error event pulses.
 
 use crate::sensor::Quantizer;
-use crate::traits::{PeriphCtx, Peripheral, RegAccessCounter};
+use crate::traits::{wake_mask_of, IdleHint, PeriphCtx, Peripheral, RegAccessCounter};
 use pels_interconnect::{ApbSlave, BusError};
-use pels_sim::{ActivityKind, Fifo, SimTime};
+use pels_sim::{ActivityKind, ComponentId, EventVector, Fifo, SimTime};
 use std::fmt;
 
 /// A device on the I2C bus.
@@ -116,7 +116,7 @@ struct Transaction {
 /// * [`I2c::wire_start_action`] — an incoming pulse repeats the last
 ///   `CMD` transaction (instant-action start).
 pub struct I2c {
-    name: String,
+    id: ComponentId,
     devices: Vec<Box<dyn I2cDevice>>,
     clkdiv: u32,
     current: Option<Transaction>,
@@ -139,7 +139,7 @@ pub struct I2c {
 impl fmt::Debug for I2c {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("I2c")
-            .field("name", &self.name)
+            .field("name", &self.id.name())
             .field("busy", &self.is_busy())
             .field("devices", &self.devices.len())
             .field("transactions", &self.transactions)
@@ -172,9 +172,9 @@ impl I2c {
     pub const CMD_READ: u32 = 1 << 7;
 
     /// Creates a master with no devices, 4 cycles per bit.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl AsRef<str>) -> Self {
         I2c {
-            name: name.into(),
+            id: ComponentId::intern(name.as_ref()),
             devices: Vec::new(),
             clkdiv: 4,
             current: None,
@@ -311,8 +311,8 @@ impl ApbSlave for I2c {
 }
 
 impl Peripheral for I2c {
-    fn name(&self) -> &str {
-        &self.name
+    fn component(&self) -> ComponentId {
+        self.id
     }
 
     fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
@@ -322,7 +322,7 @@ impl Peripheral for I2c {
         let Some(txn) = self.current else {
             return;
         };
-        ctx.activity.record(&self.name, ActivityKind::ActiveCycle, 1);
+        ctx.activity.record(self.id, ActivityKind::ActiveCycle, 1);
         self.cycle_in_bit += 1;
         if self.cycle_in_bit < self.clkdiv {
             return;
@@ -358,20 +358,33 @@ impl Peripheral for I2c {
         if self.bits_left == 0 {
             self.current = None;
             self.transactions += 1;
-            let name = self.name.clone();
             if self.nack {
                 if let Some(line) = self.nack_line {
-                    ctx.raise(line, &name, "nack");
+                    ctx.raise(line, self.id, "nack");
                 }
             } else if let Some(line) = self.done_line {
-                ctx.raise(line, &name, "done");
+                ctx.raise(line, self.id, "done");
             }
         }
     }
 
+    fn idle_hint(&self) -> IdleHint {
+        // Bit-banging a transaction counts ActiveCycle each cycle, so a
+        // busy master stays awake; an idle one waits for its start line
+        // or a CMD write.
+        if self.is_busy() {
+            IdleHint::Busy
+        } else {
+            IdleHint::Idle
+        }
+    }
+
+    fn wake_mask(&self) -> EventVector {
+        wake_mask_of(&[self.start_line])
+    }
+
     fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
-        let name = self.name.clone();
-        self.regs.drain(&name, into);
+        self.regs.drain(self.id, into);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

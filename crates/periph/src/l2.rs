@@ -105,8 +105,8 @@ impl L2Memory {
 
     /// Drains access counts into `into` under component name `sram`.
     pub fn drain_activity(&mut self, into: &mut ActivitySet) {
-        into.record("sram", ActivityKind::SramRead, self.reads);
-        into.record("sram", ActivityKind::SramWrite, self.writes);
+        into.record_named("sram", ActivityKind::SramRead, self.reads);
+        into.record_named("sram", ActivityKind::SramWrite, self.writes);
         self.reads = 0;
         self.writes = 0;
     }

@@ -43,7 +43,7 @@ pub use l2::L2Memory;
 pub use sensor::{AnalogSource, Composite, Constant, GaussianNoise, Quantizer, Ramp, Sine};
 pub use spi::{Spi, SpiDevice};
 pub use timer::Timer;
-pub use traits::{PeriphCtx, Peripheral};
+pub use traits::{wake_mask_of, IdleHint, PeriphCtx, Peripheral};
 pub use uart::Uart;
 pub use udma::{UdmaChannel, UdmaTxChannel};
 pub use wdt::Watchdog;

@@ -8,9 +8,8 @@
 //! substitution preserves the relevant behaviour — the digital side sees a
 //! stream of samples that crosses thresholds at controllable times.
 
+use pels_sim::rng::Rng;
 use pels_sim::SimTime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// A time-dependent analog signal in arbitrary units (typically volts).
@@ -71,7 +70,7 @@ impl AnalogSource for Sine {
 /// Zero-mean Gaussian noise with a seeded generator (reproducible runs).
 pub struct GaussianNoise {
     sigma: f64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl GaussianNoise {
@@ -79,7 +78,7 @@ impl GaussianNoise {
     pub fn new(sigma: f64, seed: u64) -> Self {
         GaussianNoise {
             sigma,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 }
@@ -94,13 +93,7 @@ impl fmt::Debug for GaussianNoise {
 
 impl AnalogSource for GaussianNoise {
     fn sample(&mut self, _time: SimTime) -> f64 {
-        // Box-Muller transform; `rand` (0.8, allowed dependency) has no
-        // normal distribution without `rand_distr`.
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
-        self.sigma
-            * (-2.0 * u1.ln()).sqrt()
-            * (2.0 * std::f64::consts::PI * u2).cos()
+        self.sigma * self.rng.gaussian()
     }
 }
 

@@ -8,10 +8,10 @@
 //! event PELS (or the Ibex interrupt path) links on.
 
 use crate::sensor::Quantizer;
-use crate::traits::{PeriphCtx, Peripheral, RegAccessCounter};
+use crate::traits::{wake_mask_of, IdleHint, PeriphCtx, Peripheral, RegAccessCounter};
 use crate::udma::UdmaChannel;
 use pels_interconnect::{ApbSlave, BusError};
-use pels_sim::{ActivityKind, Fifo, SimTime};
+use pels_sim::{ActivityKind, ComponentId, EventVector, Fifo, SimTime};
 use std::fmt;
 
 /// The device on the other end of the SPI bus.
@@ -82,7 +82,7 @@ impl SpiDevice for ReplayDevice {
 /// * [`Spi::wire_start_action`] — an incoming pulse starts a transfer of
 ///   the most recent `CMD` length (instant-action start).
 pub struct Spi {
-    name: String,
+    id: ComponentId,
     device: Box<dyn SpiDevice>,
     clkdiv: u32,
     words_remaining: u32,
@@ -102,7 +102,7 @@ pub struct Spi {
 impl fmt::Debug for Spi {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Spi")
-            .field("name", &self.name)
+            .field("name", &self.id.name())
             .field("busy", &self.is_busy())
             .field("words_remaining", &self.words_remaining)
             .field("clkdiv", &self.clkdiv)
@@ -130,9 +130,9 @@ impl Spi {
 
     /// Creates an SPI master attached to `device`, 8 cycles/word, RX FIFO
     /// depth 8.
-    pub fn new(name: impl Into<String>, device: Box<dyn SpiDevice>) -> Self {
+    pub fn new(name: impl AsRef<str>, device: Box<dyn SpiDevice>) -> Self {
         Spi {
-            name: name.into(),
+            id: ComponentId::intern(name.as_ref()),
             device,
             clkdiv: 8,
             words_remaining: 0,
@@ -249,20 +249,20 @@ impl ApbSlave for Spi {
 }
 
 impl Peripheral for Spi {
-    fn name(&self) -> &str {
-        &self.name
+    fn component(&self) -> ComponentId {
+        self.id
     }
 
     fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
         if ctx.wired_high(self.start_line) && !self.is_busy() {
             self.start(self.last_len);
             ctx.trace
-                .record(ctx.time, &self.name, "start", u64::from(self.last_len));
+                .record(ctx.time, self.id, "start", u64::from(self.last_len));
         }
         if !self.is_busy() {
             return;
         }
-        ctx.activity.record(&self.name, ActivityKind::ActiveCycle, 1);
+        ctx.activity.record(self.id, ActivityKind::ActiveCycle, 1);
         self.cycle_in_word += 1;
         if self.cycle_in_word < self.clkdiv {
             return;
@@ -276,8 +276,7 @@ impl Peripheral for Spi {
             self.udma.push_word(word, ctx.l2);
             if self.udma.take_done() {
                 if let Some(line) = self.udma_done_line {
-                    let name = self.name.clone();
-                    ctx.raise(line, &name, "udma_done");
+                    ctx.raise(line, self.id, "udma_done");
                 }
             }
         } else {
@@ -286,15 +285,27 @@ impl Peripheral for Spi {
         self.words_remaining -= 1;
         if self.words_remaining == 0 {
             if let Some(line) = self.eot_line {
-                let name = self.name.clone();
-                ctx.raise(line, &name, "eot");
+                ctx.raise(line, self.id, "eot");
             }
         }
     }
 
+    fn idle_hint(&self) -> IdleHint {
+        // Transfers count ActiveCycle per cycle, so a shifting SPI stays
+        // awake; an idle one waits for its start line or a CMD write.
+        if self.is_busy() {
+            IdleHint::Busy
+        } else {
+            IdleHint::Idle
+        }
+    }
+
+    fn wake_mask(&self) -> EventVector {
+        wake_mask_of(&[self.start_line])
+    }
+
     fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
-        let name = self.name.clone();
-        self.regs.drain(&name, into);
+        self.regs.drain(self.id, into);
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -5,9 +5,9 @@
 //! up-counter raising an event pulse on compare match, controllable both
 //! over the bus and through single-wire start/stop action lines.
 
-use crate::traits::{PeriphCtx, Peripheral, RegAccessCounter};
+use crate::traits::{wake_mask_of, IdleHint, PeriphCtx, Peripheral, RegAccessCounter};
 use pels_interconnect::{ApbSlave, BusError};
-use pels_sim::ActivityKind;
+use pels_sim::{ActivityKind, ComponentId, EventVector};
 
 /// A 32-bit up-counting timer with prescaler and compare event.
 ///
@@ -25,9 +25,9 @@ use pels_sim::ActivityKind;
 /// * compare match pulses the line set by [`Timer::wire_compare_event`];
 /// * a pulse on the [`Timer::wire_start_action`] line enables and restarts
 ///   the timer; one on [`Timer::wire_stop_action`] disables it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Timer {
-    name: String,
+    id: ComponentId,
     enable: bool,
     one_shot: bool,
     cmp: u32,
@@ -57,11 +57,20 @@ impl Timer {
     pub const CTRL_ONE_SHOT: u32 = 1 << 1;
 
     /// Creates a timer named `name`, disabled, compare at `u32::MAX`.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl AsRef<str>) -> Self {
         Timer {
-            name: name.into(),
+            id: ComponentId::intern(name.as_ref()),
+            enable: false,
+            one_shot: false,
             cmp: u32::MAX,
-            ..Timer::default()
+            value: 0,
+            presc: 0,
+            presc_count: 0,
+            cmp_event_line: None,
+            start_line: None,
+            stop_line: None,
+            regs: RegAccessCounter::default(),
+            fires: 0,
         }
     }
 
@@ -101,6 +110,19 @@ impl Timer {
     fn ctrl_word(&self) -> u32 {
         u32::from(self.enable) | (u32::from(self.one_shot) << 1)
     }
+
+    /// Ticks from now (exclusive) until the tick on which the compare
+    /// event fires, given the current post-tick state. The j-th future
+    /// tick sees `presc_count + j - 1` (mod `presc+1`) on entry; a count
+    /// action happens when that equals `presc`, and the fire is the
+    /// `cmp - value + 1`-th action.
+    fn ticks_to_fire(&self) -> u64 {
+        let period = u64::from(self.presc) + 1;
+        let to_first_action = u64::from(self.presc - self.presc_count) + 1;
+        let actions_before_fire = u64::from(self.cmp.wrapping_sub(self.value));
+        let total = u128::from(to_first_action) + u128::from(actions_before_fire) * u128::from(period);
+        u64::try_from(total).unwrap_or(u64::MAX)
+    }
 }
 
 impl ApbSlave for Timer {
@@ -135,8 +157,8 @@ impl ApbSlave for Timer {
 }
 
 impl Peripheral for Timer {
-    fn name(&self) -> &str {
-        &self.name
+    fn component(&self) -> ComponentId {
+        self.id
     }
 
     fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
@@ -151,7 +173,7 @@ impl Peripheral for Timer {
         if !self.enable {
             return;
         }
-        ctx.activity.record(&self.name, ActivityKind::ActiveCycle, 1);
+        ctx.activity.record(self.id, ActivityKind::ActiveCycle, 1);
         if self.presc_count < self.presc {
             self.presc_count += 1;
             return;
@@ -164,17 +186,48 @@ impl Peripheral for Timer {
                 self.enable = false;
             }
             if let Some(line) = self.cmp_event_line {
-                let name = self.name.clone();
-                ctx.raise(line, &name, "compare");
+                ctx.raise(line, self.id, "compare");
             }
         } else {
             self.value = self.value.wrapping_add(1);
         }
     }
 
+    fn idle_hint(&self) -> IdleHint {
+        if !self.enable {
+            return IdleHint::Idle;
+        }
+        // A running timer's only observable action is the compare fire;
+        // everything before it (counting, prescaling, ActiveCycle
+        // accounting) is reconstructed in closed form by `catch_up`.
+        IdleHint::IdleFor(self.ticks_to_fire())
+    }
+
+    fn wake_mask(&self) -> EventVector {
+        wake_mask_of(&[self.start_line, self.stop_line])
+    }
+
+    fn catch_up(&mut self, ctx: &mut PeriphCtx<'_>, elapsed: u64) {
+        if !self.enable || elapsed == 0 {
+            return;
+        }
+        // Replay `elapsed` eventless ticks in closed form. The scheduler
+        // guarantees the skipped span ends before `ticks_to_fire`, so no
+        // compare match can occur inside it.
+        ctx.activity.record(self.id, ActivityKind::ActiveCycle, elapsed);
+        let period = u64::from(self.presc) + 1;
+        let total = u64::from(self.presc_count) + elapsed;
+        let actions = total / period;
+        self.presc_count = (total % period) as u32;
+        debug_assert!(
+            actions <= u64::from(self.cmp.wrapping_sub(self.value)),
+            "timer catch-up skipped across a compare fire"
+        );
+        self.value = self.value.wrapping_add(actions as u32);
+    }
+
     fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
-        let name = self.name.clone();
-        self.regs.drain(&name, into);
+        self.regs.drain(self.id, into);
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -2,7 +2,7 @@
 
 use crate::l2::L2Memory;
 use pels_interconnect::ApbSlave;
-use pels_sim::{ActivitySet, EventVector, SimTime, Trace};
+use pels_sim::{ActivitySet, ComponentId, EventVector, SimTime, Trace};
 
 /// Everything a peripheral can see and touch during one clock cycle.
 ///
@@ -41,7 +41,7 @@ impl<'a> PeriphCtx<'a> {
     /// # Panics
     ///
     /// Panics if `line >= 64`.
-    pub fn raise(&mut self, line: u32, source: &str, label: &str) {
+    pub fn raise(&mut self, line: u32, source: ComponentId, label: &'static str) {
         self.events_out.set(line);
         self.trace.record(self.time, source, label, u64::from(line));
         self.activity
@@ -55,6 +55,30 @@ impl<'a> PeriphCtx<'a> {
     }
 }
 
+/// A peripheral's scheduling hint: whether skipping its next ticks would
+/// change anything observable.
+///
+/// Returned by [`Peripheral::idle_hint`] after every tick. The contract a
+/// hint certifies: *if no wake condition occurs* (no wire in
+/// [`Peripheral::wake_mask`] pulses, no bus access targets the
+/// peripheral), ticking it during the covered cycles would leave its
+/// architectural state, its activity counters, its trace output and its
+/// event pulses exactly as not ticking it — except for whatever the
+/// peripheral itself reconstructs in [`Peripheral::catch_up`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleHint {
+    /// Must be ticked every cycle.
+    Busy,
+    /// The next `n - 1` cycles may be skipped; the peripheral must be
+    /// ticked on the `n`-th cycle after the one that produced this hint
+    /// (its next self-driven observable action, e.g. a timer compare
+    /// fire).
+    IdleFor(u64),
+    /// May be skipped indefinitely; only a wake condition makes it
+    /// observable again.
+    Idle,
+}
+
 /// A memory-mapped peripheral participating in the event system.
 ///
 /// Implementors are APB slaves (the *sequenced action* interface) and are
@@ -62,10 +86,39 @@ impl<'a> PeriphCtx<'a> {
 /// behaviour: counters, shift registers, µDMA engines, ...).
 pub trait Peripheral: ApbSlave {
     /// Stable instance name used in traces and activity reports.
-    fn name(&self) -> &str;
+    fn name(&self) -> &str {
+        self.component().name()
+    }
+
+    /// Interned id of [`Peripheral::name`] — the key hot paths record
+    /// activity and trace entries under.
+    fn component(&self) -> ComponentId;
 
     /// Advances the peripheral by one clock cycle.
     fn tick(&mut self, ctx: &mut PeriphCtx<'_>);
+
+    /// Scheduling hint for the cycles after the most recent tick (or
+    /// register access). The default — [`IdleHint::Busy`] — is always
+    /// safe: the harness simply ticks the peripheral every cycle.
+    fn idle_hint(&self) -> IdleHint {
+        IdleHint::Busy
+    }
+
+    /// Event wires that must wake this peripheral when pulsed (its wired
+    /// instant-action inputs). Only consulted while the peripheral is
+    /// skipped; the default wakes on any line, which is always safe.
+    fn wake_mask(&self) -> EventVector {
+        EventVector::ALL
+    }
+
+    /// Reconstructs the effect of `elapsed` skipped cycles, called
+    /// immediately before the tick that ends a skip. Peripherals whose
+    /// skipped ticks are pure no-ops (the common case) keep the default;
+    /// peripherals that count while "idle" (timer, watchdog) advance
+    /// their counters and activity in closed form here.
+    fn catch_up(&mut self, ctx: &mut PeriphCtx<'_>, elapsed: u64) {
+        let _ = (ctx, elapsed);
+    }
 
     /// Harvests internally counted activity (register-file accesses
     /// observed through the APB interface since the last drain).
@@ -77,6 +130,15 @@ pub trait Peripheral: ApbSlave {
 
     /// Mutable concrete-type access.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Builds the wake mask for a set of optional wired input lines.
+pub fn wake_mask_of(lines: &[Option<u32>]) -> EventVector {
+    let mut v = EventVector::EMPTY;
+    for l in lines.iter().flatten() {
+        v.set(*l);
+    }
+    v
 }
 
 /// Small helper all peripherals use to count their APB register accesses;
@@ -101,7 +163,7 @@ impl RegAccessCounter {
     }
 
     /// Drains the counts into `into` under `component`.
-    pub fn drain(&mut self, component: &str, into: &mut ActivitySet) {
+    pub fn drain(&mut self, component: ComponentId, into: &mut ActivitySet) {
         into.record(component, pels_sim::ActivityKind::RegRead, self.reads);
         into.record(component, pels_sim::ActivityKind::RegWrite, self.writes);
         self.reads = 0;
@@ -135,7 +197,7 @@ mod tests {
         let mut act = ActivitySet::new();
         let mut trace = Trace::new();
         let mut ctx = ctx_fixture(&mut l2, &mut act, &mut trace);
-        ctx.raise(7, "spi", "eot");
+        ctx.raise(7, ComponentId::intern("spi"), "eot");
         assert!(ctx.events_out.is_set(7));
         assert!(trace.first("spi", "eot").is_some());
         assert_eq!(act.count("spi", pels_sim::ActivityKind::EventPulse), 1);
@@ -159,10 +221,17 @@ mod tests {
         c.read();
         c.write();
         let mut act = ActivitySet::new();
-        c.drain("gpio", &mut act);
+        c.drain(ComponentId::intern("gpio"), &mut act);
         assert_eq!(act.count("gpio", pels_sim::ActivityKind::RegRead), 2);
         assert_eq!(act.count("gpio", pels_sim::ActivityKind::RegWrite), 1);
         assert_eq!(c.reads, 0);
         assert_eq!(c.writes, 0);
+    }
+
+    #[test]
+    fn wake_mask_of_skips_unwired() {
+        let m = wake_mask_of(&[Some(3), None, Some(9)]);
+        assert_eq!(m, EventVector::mask_of(&[3, 9]));
+        assert_eq!(wake_mask_of(&[None, None]), EventVector::EMPTY);
     }
 }

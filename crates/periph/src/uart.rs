@@ -5,10 +5,10 @@
 //! as a *sequenced-action* target — PELS can emit an alert byte without
 //! waking the core.
 
-use crate::traits::{PeriphCtx, Peripheral, RegAccessCounter};
+use crate::traits::{IdleHint, PeriphCtx, Peripheral, RegAccessCounter};
 use crate::udma::UdmaTxChannel;
 use pels_interconnect::{ApbSlave, BusError};
-use pels_sim::{ActivityKind, Fifo};
+use pels_sim::{ActivityKind, ComponentId, EventVector, Fifo};
 
 /// A TX-only UART with a small FIFO and a fixed per-byte cycle cost.
 ///
@@ -28,7 +28,7 @@ use pels_sim::{ActivityKind, Fifo};
 /// emit a multi-byte alert with the core asleep.
 #[derive(Debug)]
 pub struct Uart {
-    name: String,
+    id: ComponentId,
     tx_fifo: Fifo<u8>,
     clkdiv: u32,
     cycle_in_byte: u32,
@@ -57,9 +57,9 @@ impl Uart {
 
     /// Creates a UART with FIFO depth 16 and 10 cycles per byte (8N1
     /// framing at clk/1).
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl AsRef<str>) -> Self {
         Uart {
-            name: name.into(),
+            id: ComponentId::intern(name.as_ref()),
             tx_fifo: Fifo::new(16),
             clkdiv: 10,
             cycle_in_byte: 0,
@@ -136,8 +136,8 @@ impl ApbSlave for Uart {
 }
 
 impl Peripheral for Uart {
-    fn name(&self) -> &str {
-        &self.name
+    fn component(&self) -> ComponentId {
+        self.id
     }
 
     fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
@@ -168,25 +168,36 @@ impl Peripheral for Uart {
         let Some(byte) = self.sending else {
             return;
         };
-        ctx.activity.record(&self.name, ActivityKind::ActiveCycle, 1);
+        ctx.activity.record(self.id, ActivityKind::ActiveCycle, 1);
         self.cycle_in_byte += 1;
         if self.cycle_in_byte >= self.clkdiv {
             self.sent.push(byte);
-            ctx.trace
-                .record(ctx.time, &self.name, "tx", u64::from(byte));
+            ctx.trace.record(ctx.time, self.id, "tx", u64::from(byte));
             self.sending = None;
             if self.tx_fifo.is_empty() {
                 if let Some(line) = self.done_line {
-                    let name = self.name.clone();
-                    ctx.raise(line, &name, "tx_done");
+                    ctx.raise(line, self.id, "tx_done");
                 }
             }
         }
     }
 
+    fn idle_hint(&self) -> IdleHint {
+        // A transmitting UART counts ActiveCycle per cycle; a drained one
+        // has no wired inputs and only wakes on a register access.
+        if self.is_busy() {
+            IdleHint::Busy
+        } else {
+            IdleHint::Idle
+        }
+    }
+
+    fn wake_mask(&self) -> EventVector {
+        EventVector::EMPTY
+    }
+
     fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
-        let name = self.name.clone();
-        self.regs.drain(&name, into);
+        self.regs.drain(self.id, into);
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

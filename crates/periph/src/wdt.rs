@@ -6,9 +6,9 @@
 //! exists so the watchdog example and the ablation can compare a
 //! conventional watchdog against a PELS microcode watchdog.
 
-use crate::traits::{PeriphCtx, Peripheral, RegAccessCounter};
+use crate::traits::{wake_mask_of, IdleHint, PeriphCtx, Peripheral, RegAccessCounter};
 use pels_interconnect::{ApbSlave, BusError};
-use pels_sim::ActivityKind;
+use pels_sim::{ActivityKind, ComponentId, EventVector};
 
 /// A down-counting watchdog that pulses a *bite* event at zero and
 /// reloads.
@@ -27,9 +27,9 @@ use pels_sim::ActivityKind;
 /// * [`Watchdog::wire_bite_event`] — pulses when the counter expires;
 /// * [`Watchdog::wire_kick_action`] — an incoming pulse kicks the dog
 ///   (what a PELS instant action does in the watchdog example).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Watchdog {
-    name: String,
+    id: ComponentId,
     enable: bool,
     load: u32,
     value: u32,
@@ -50,10 +50,16 @@ impl Watchdog {
     pub const VALUE: u32 = 0x0C;
 
     /// Creates a disabled watchdog.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl AsRef<str>) -> Self {
         Watchdog {
-            name: name.into(),
-            ..Watchdog::default()
+            id: ComponentId::intern(name.as_ref()),
+            enable: false,
+            load: 0,
+            value: 0,
+            bite_line: None,
+            kick_line: None,
+            regs: RegAccessCounter::default(),
+            bites: 0,
         }
     }
 
@@ -110,8 +116,8 @@ impl ApbSlave for Watchdog {
 }
 
 impl Peripheral for Watchdog {
-    fn name(&self) -> &str {
-        &self.name
+    fn component(&self) -> ComponentId {
+        self.id
     }
 
     fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
@@ -121,22 +127,47 @@ impl Peripheral for Watchdog {
         if !self.enable {
             return;
         }
-        ctx.activity.record(&self.name, ActivityKind::ActiveCycle, 1);
+        ctx.activity.record(self.id, ActivityKind::ActiveCycle, 1);
         if self.value == 0 {
             self.bites += 1;
             self.value = self.load;
             if let Some(line) = self.bite_line {
-                let name = self.name.clone();
-                ctx.raise(line, &name, "bite");
+                ctx.raise(line, self.id, "bite");
             }
         } else {
             self.value -= 1;
         }
     }
 
+    fn idle_hint(&self) -> IdleHint {
+        if !self.enable {
+            return IdleHint::Idle;
+        }
+        // Counting down is unobservable until the bite: `value` reaches 0
+        // after `value` ticks, and the bite happens one tick later.
+        IdleHint::IdleFor(u64::from(self.value) + 1)
+    }
+
+    fn wake_mask(&self) -> EventVector {
+        wake_mask_of(&[self.kick_line])
+    }
+
+    fn catch_up(&mut self, ctx: &mut PeriphCtx<'_>, elapsed: u64) {
+        if !self.enable || elapsed == 0 {
+            return;
+        }
+        // The scheduler never skips across the bite tick, so the counter
+        // cannot underflow here.
+        ctx.activity.record(self.id, ActivityKind::ActiveCycle, elapsed);
+        debug_assert!(
+            elapsed <= u64::from(self.value),
+            "watchdog catch-up skipped across a bite"
+        );
+        self.value -= elapsed as u32;
+    }
+
     fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
-        let name = self.name.clone();
-        self.regs.drain(&name, into);
+        self.regs.drain(self.id, into);
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -249,9 +249,9 @@ mod tests {
     fn clock_cycles_scale_with_area() {
         let m = model();
         let mut small = ActivitySet::new();
-        small.record("pels.link0", ActivityKind::ClockCycle, 1000);
+        small.record_named("pels.link0", ActivityKind::ClockCycle, 1000);
         let mut big = ActivitySet::new();
-        big.record("ibex", ActivityKind::ClockCycle, 1000);
+        big.record_named("ibex", ActivityKind::ClockCycle, 1000);
         let rs = m.report(&small, window());
         let rb = m.report(&big, window());
         let ds = rs.component("pels.link0").unwrap().dynamic.as_uw();
@@ -263,8 +263,8 @@ mod tests {
     fn unregistered_component_contributes_event_energy_only() {
         let m = model();
         let mut a = ActivitySet::new();
-        a.record("mystery", ActivityKind::BusTransfer, 100);
-        a.record("mystery", ActivityKind::ClockCycle, 1000);
+        a.record_named("mystery", ActivityKind::BusTransfer, 100);
+        a.record_named("mystery", ActivityKind::ClockCycle, 1000);
         let r = m.report(&a, window());
         let c = r.component("mystery").unwrap();
         assert!(c.dynamic.as_uw() > 0.0, "event energy counted");
@@ -281,9 +281,9 @@ mod tests {
     fn memory_system_power_tracks_sram_accesses() {
         let m = model();
         let mut quiet = ActivitySet::new();
-        quiet.record("ibex", ActivityKind::InstrRetired, 100);
+        quiet.record_named("ibex", ActivityKind::InstrRetired, 100);
         let mut busy = quiet.clone();
-        busy.record("sram", ActivityKind::SramRead, 10_000);
+        busy.record_named("sram", ActivityKind::SramRead, 10_000);
         let rq = m.report(&quiet, window());
         let rb = m.report(&busy, window());
         assert!(rb.memory_system().as_uw() > rq.memory_system().as_uw());
@@ -300,7 +300,7 @@ mod tests {
     fn report_is_displayable_and_sorted() {
         let m = model();
         let mut a = ActivitySet::new();
-        a.record("ibex", ActivityKind::SramRead, 1); // attributed to ibex name
+        a.record_named("ibex", ActivityKind::SramRead, 1); // attributed to ibex name
         let r = m.report(&a, window());
         let s = r.to_string();
         assert!(s.contains("analog floor"));
@@ -312,7 +312,7 @@ mod tests {
     fn kind_energy_accessible() {
         let m = model();
         let mut a = ActivitySet::new();
-        a.record("sram", ActivityKind::SramRead, 5);
+        a.record_named("sram", ActivityKind::SramRead, 5);
         let r = m.report(&a, window());
         assert!(
             (r.kind_energy(ActivityKind::SramRead).as_pj()

@@ -5,8 +5,14 @@
 //! keeps the first half exact — every model records its per-cycle activity
 //! here — and the `pels-power` crate supplies literature-calibrated
 //! per-event energies for the second half.
+//!
+//! Counters are stored densely: one `[u64; ActivityKind::COUNT]` row per
+//! interned [`ComponentId`], so the per-cycle [`ActivitySet::record`] is a
+//! bounds-checked array add with no allocation and no string hashing. The
+//! string-keyed query API survives as a thin lookup layer over the
+//! interning registry.
 
-use std::collections::BTreeMap;
+use crate::intern::ComponentId;
 use std::fmt;
 
 /// A class of energy-consuming activity.
@@ -48,8 +54,11 @@ pub enum ActivityKind {
 }
 
 impl ActivityKind {
+    /// Number of kinds (the width of a dense counter row).
+    pub const COUNT: usize = 14;
+
     /// All kinds, for iteration in reports.
-    pub const ALL: [ActivityKind; 14] = [
+    pub const ALL: [ActivityKind; ActivityKind::COUNT] = [
         ActivityKind::ClockCycle,
         ActivityKind::ActiveCycle,
         ActivityKind::RegRead,
@@ -65,6 +74,11 @@ impl ActivityKind {
         ActivityKind::EventPulse,
         ActivityKind::IrqOverhead,
     ];
+
+    /// Dense index of this kind (declaration order, matching [`Self::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
 
     /// Short label used in reports.
     pub fn label(self) -> &'static str {
@@ -93,23 +107,31 @@ impl fmt::Display for ActivityKind {
     }
 }
 
+type Row = [u64; ActivityKind::COUNT];
+
+const ZERO_ROW: Row = [0; ActivityKind::COUNT];
+
 /// Per-component, per-kind activity counters.
 ///
-/// Keys are `(component, kind)`; components are identified by stable string
-/// names (e.g. `"ibex"`, `"pels.link0"`, `"sram"`). A `BTreeMap` keeps
-/// iteration deterministic.
+/// Components are identified by interned [`ComponentId`]s; rows are stored
+/// densely indexed by id, so [`ActivitySet::record`] is an array add with
+/// zero heap allocation on the steady state (the row vector grows only the
+/// first time a new component records). String-keyed queries resolve the
+/// name through the interning registry without allocating.
 ///
 /// ```
-/// use pels_sim::{ActivityKind, ActivitySet};
+/// use pels_sim::{ActivityKind, ActivitySet, ComponentId};
+/// let sram = ComponentId::intern("sram");
 /// let mut a = ActivitySet::new();
-/// a.record("sram", ActivityKind::SramRead, 3);
-/// a.record("sram", ActivityKind::SramRead, 1);
+/// a.record(sram, ActivityKind::SramRead, 3);
+/// a.record(sram, ActivityKind::SramRead, 1);
 /// assert_eq!(a.count("sram", ActivityKind::SramRead), 4);
 /// assert_eq!(a.component_total("sram"), 4);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ActivitySet {
-    counts: BTreeMap<(String, ActivityKind), u64>,
+    /// `counts[id][kind]`, indexed by `ComponentId::index()`.
+    counts: Vec<Row>,
 }
 
 impl ActivitySet {
@@ -119,70 +141,109 @@ impl ActivitySet {
     }
 
     /// Adds `n` occurrences of `kind` for `component`.
-    pub fn record(&mut self, component: &str, kind: ActivityKind, n: u64) {
+    ///
+    /// This is the simulation hot path: after the first record for a
+    /// given component it performs no allocation and no hashing.
+    #[inline]
+    pub fn record(&mut self, component: ComponentId, kind: ActivityKind, n: u64) {
         if n == 0 {
             return;
         }
-        *self
-            .counts
-            .entry((component.to_owned(), kind))
-            .or_insert(0) += n;
+        let idx = component.index();
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, ZERO_ROW);
+        }
+        self.counts[idx][kind.index()] += n;
     }
 
-    /// Count of `kind` recorded for `component`.
+    /// Adds `n` occurrences of `kind` for the component named `component`,
+    /// interning the name if needed. Convenience layer for cold paths and
+    /// tests; hot paths should hold a [`ComponentId`].
+    pub fn record_named(&mut self, component: &str, kind: ActivityKind, n: u64) {
+        self.record(ComponentId::intern(component), kind, n);
+    }
+
+    fn row(&self, component: ComponentId) -> &Row {
+        self.counts.get(component.index()).unwrap_or(&ZERO_ROW)
+    }
+
+    /// Count of `kind` recorded for the component with id `component`.
+    pub fn count_id(&self, component: ComponentId, kind: ActivityKind) -> u64 {
+        self.row(component)[kind.index()]
+    }
+
+    /// Count of `kind` recorded for `component` (no allocation: resolves
+    /// the name through the interning registry).
     pub fn count(&self, component: &str, kind: ActivityKind) -> u64 {
-        self.counts
-            .get(&(component.to_owned(), kind))
-            .copied()
+        ComponentId::lookup(component)
+            .map(|id| self.count_id(id, kind))
             .unwrap_or(0)
     }
 
-    /// Sum over all kinds for `component`.
+    /// Sum over all kinds for `component` (one row scan, no allocation).
     pub fn component_total(&self, component: &str) -> u64 {
-        self.counts
-            .iter()
-            .filter(|((c, _), _)| c == component)
-            .map(|(_, &n)| n)
-            .sum()
+        ComponentId::lookup(component)
+            .map(|id| self.row(id).iter().sum())
+            .unwrap_or(0)
     }
 
-    /// Sum of `kind` across all components.
+    /// Sum of `kind` across all components (one column scan).
     pub fn kind_total(&self, kind: ActivityKind) -> u64 {
-        self.counts
-            .iter()
-            .filter(|((_, k), _)| *k == kind)
-            .map(|(_, &n)| n)
-            .sum()
+        let k = kind.index();
+        self.counts.iter().map(|row| row[k]).sum()
+    }
+
+    /// Ids of components with at least one non-zero counter, sorted by
+    /// name for deterministic reporting.
+    fn present(&self) -> Vec<ComponentId> {
+        let mut ids: Vec<ComponentId> = (0..self.counts.len())
+            .filter(|&i| self.counts[i] != ZERO_ROW)
+            .map(|i| ComponentId::from_index(i))
+            .collect();
+        ids.sort_by_key(|id| id.name());
+        ids
     }
 
     /// Sorted list of component names present in the set.
-    pub fn components(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.counts.keys().map(|(c, _)| c.as_str()).collect();
-        names.dedup();
-        names
+    pub fn components(&self) -> Vec<&'static str> {
+        self.present().into_iter().map(|id| id.name()).collect()
     }
 
-    /// Iterates over `((component, kind), count)` in deterministic order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, ActivityKind, u64)> {
-        self.counts.iter().map(|((c, k), &n)| (c.as_str(), *k, n))
+    /// Iterates over `(component, kind, count)` for every non-zero
+    /// counter, components sorted by name, kinds in declaration order —
+    /// the same deterministic order the original `BTreeMap` keyed by
+    /// `(String, ActivityKind)` produced.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, ActivityKind, u64)> + '_ {
+        self.present().into_iter().flat_map(move |id| {
+            let row = *self.row(id);
+            ActivityKind::ALL.into_iter().filter_map(move |k| {
+                let n = row[k.index()];
+                (n > 0).then_some((id.name(), k, n))
+            })
+        })
     }
 
     /// Merges another set into this one (counts add).
     pub fn merge(&mut self, other: &ActivitySet) {
-        for ((c, k), &n) in &other.counts {
-            *self.counts.entry((c.clone(), *k)).or_insert(0) += n;
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), ZERO_ROW);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
         }
     }
 
     /// Returns the difference `self - baseline` (saturating at zero), used
     /// to isolate the activity of one measurement window.
     pub fn delta_from(&self, baseline: &ActivitySet) -> ActivitySet {
-        let mut out = ActivitySet::new();
-        for ((c, k), &n) in &self.counts {
-            let base = baseline.counts.get(&(c.clone(), *k)).copied().unwrap_or(0);
-            let d = n.saturating_sub(base);
-            if d > 0 {
-                out.counts.insert((c.clone(), *k), d);
+        let mut out = ActivitySet {
+            counts: self.counts.clone(),
+        };
+        for (mine, base) in out.counts.iter_mut().zip(&baseline.counts) {
+            for (m, b) in mine.iter_mut().zip(base) {
+                *m = m.saturating_sub(*b);
             }
         }
         out
@@ -190,9 +251,23 @@ impl ActivitySet {
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.counts.iter().all(|row| *row == ZERO_ROW)
     }
 }
+
+/// Two sets are equal when every component has identical counters; rows of
+/// zeros (including trailing rows one set has and the other lacks) do not
+/// distinguish them.
+impl PartialEq for ActivitySet {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.counts.len().max(other.counts.len());
+        (0..n).all(|i| {
+            self.counts.get(i).unwrap_or(&ZERO_ROW) == other.counts.get(i).unwrap_or(&ZERO_ROW)
+        })
+    }
+}
+
+impl Eq for ActivitySet {}
 
 impl fmt::Display for ActivitySet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -210,52 +285,101 @@ mod tests {
 
     #[test]
     fn record_and_query() {
+        let ibex = ComponentId::intern("act-ibex");
+        let pels = ComponentId::intern("act-pels");
         let mut a = ActivitySet::new();
-        a.record("ibex", ActivityKind::InstrRetired, 10);
-        a.record("ibex", ActivityKind::SramRead, 12);
-        a.record("pels", ActivityKind::ScmRead, 4);
-        assert_eq!(a.count("ibex", ActivityKind::InstrRetired), 10);
-        assert_eq!(a.count("ibex", ActivityKind::ScmRead), 0);
-        assert_eq!(a.component_total("ibex"), 22);
+        a.record(ibex, ActivityKind::InstrRetired, 10);
+        a.record(ibex, ActivityKind::SramRead, 12);
+        a.record(pels, ActivityKind::ScmRead, 4);
+        assert_eq!(a.count("act-ibex", ActivityKind::InstrRetired), 10);
+        assert_eq!(a.count("act-ibex", ActivityKind::ScmRead), 0);
+        assert_eq!(a.component_total("act-ibex"), 22);
         assert_eq!(a.kind_total(ActivityKind::ScmRead), 4);
-        assert_eq!(a.components(), vec!["ibex", "pels"]);
+        assert_eq!(a.components(), vec!["act-ibex", "act-pels"]);
+    }
+
+    #[test]
+    fn unknown_component_reads_as_zero() {
+        let a = ActivitySet::new();
+        assert_eq!(a.count("never-interned-component", ActivityKind::RegRead), 0);
+        assert_eq!(a.component_total("never-interned-component"), 0);
     }
 
     #[test]
     fn zero_records_are_ignored() {
+        let x = ComponentId::intern("act-zero");
         let mut a = ActivitySet::new();
-        a.record("x", ActivityKind::RegRead, 0);
+        a.record(x, ActivityKind::RegRead, 0);
         assert!(a.is_empty());
     }
 
     #[test]
     fn merge_adds_counts() {
+        let x = ComponentId::intern("act-mx");
+        let y = ComponentId::intern("act-my");
         let mut a = ActivitySet::new();
-        a.record("x", ActivityKind::RegRead, 1);
+        a.record(x, ActivityKind::RegRead, 1);
         let mut b = ActivitySet::new();
-        b.record("x", ActivityKind::RegRead, 2);
-        b.record("y", ActivityKind::RegWrite, 3);
+        b.record(x, ActivityKind::RegRead, 2);
+        b.record(y, ActivityKind::RegWrite, 3);
         a.merge(&b);
-        assert_eq!(a.count("x", ActivityKind::RegRead), 3);
-        assert_eq!(a.count("y", ActivityKind::RegWrite), 3);
+        assert_eq!(a.count_id(x, ActivityKind::RegRead), 3);
+        assert_eq!(a.count_id(y, ActivityKind::RegWrite), 3);
     }
 
     #[test]
     fn delta_isolates_window() {
+        let x = ComponentId::intern("act-dx");
+        let y = ComponentId::intern("act-dy");
         let mut base = ActivitySet::new();
-        base.record("x", ActivityKind::BusTransfer, 5);
+        base.record(x, ActivityKind::BusTransfer, 5);
         let mut later = base.clone();
-        later.record("x", ActivityKind::BusTransfer, 2);
-        later.record("y", ActivityKind::EventPulse, 1);
+        later.record(x, ActivityKind::BusTransfer, 2);
+        later.record(y, ActivityKind::EventPulse, 1);
         let d = later.delta_from(&base);
-        assert_eq!(d.count("x", ActivityKind::BusTransfer), 2);
-        assert_eq!(d.count("y", ActivityKind::EventPulse), 1);
+        assert_eq!(d.count_id(x, ActivityKind::BusTransfer), 2);
+        assert_eq!(d.count_id(y, ActivityKind::EventPulse), 1);
+    }
+
+    #[test]
+    fn equality_ignores_zero_rows() {
+        let x = ComponentId::intern("act-eqx");
+        let pad = ComponentId::intern("act-eqpad");
+        let mut a = ActivitySet::new();
+        a.record(x, ActivityKind::ClockCycle, 1);
+        let mut b = ActivitySet::new();
+        b.record(pad, ActivityKind::ClockCycle, 1);
+        b.record(pad, ActivityKind::ClockCycle, 0);
+        let mut c = ActivitySet::new();
+        c.record(x, ActivityKind::ClockCycle, 1);
+        // b has a row a lacks; c matches a exactly.
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_name_then_kind() {
+        let b = ComponentId::intern("act-iter-b");
+        let a_id = ComponentId::intern("act-iter-a");
+        let mut s = ActivitySet::new();
+        s.record(b, ActivityKind::RegWrite, 1);
+        s.record(a_id, ActivityKind::RegRead, 2);
+        s.record(a_id, ActivityKind::ClockCycle, 3);
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(
+            got,
+            vec![
+                ("act-iter-a", ActivityKind::ClockCycle, 3),
+                ("act-iter-a", ActivityKind::RegRead, 2),
+                ("act-iter-b", ActivityKind::RegWrite, 1),
+            ]
+        );
     }
 
     #[test]
     fn display_lists_all_entries() {
         let mut a = ActivitySet::new();
-        a.record("x", ActivityKind::ClockCycle, 7);
+        a.record_named("act-disp", ActivityKind::ClockCycle, 7);
         let s = a.to_string();
         assert!(s.contains("clock_cycle"));
         assert!(s.contains('7'));
@@ -267,5 +391,12 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), ActivityKind::ALL.len());
+    }
+
+    #[test]
+    fn kind_index_matches_declaration_order() {
+        for (i, k) in ActivityKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
     }
 }

@@ -30,6 +30,14 @@ impl EventVector {
     /// No event lines active.
     pub const EMPTY: EventVector = EventVector(0);
 
+    /// All 64 event lines active.
+    pub const ALL: EventVector = EventVector(u64::MAX);
+
+    /// Whether any line in `mask` is also active in `self`.
+    pub fn intersects(self, mask: EventVector) -> bool {
+        self.0 & mask.0 != 0
+    }
+
     /// Creates a vector from its raw 64-bit image.
     pub const fn from_bits(bits: u64) -> Self {
         EventVector(bits)

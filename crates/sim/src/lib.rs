@@ -57,6 +57,8 @@ pub mod component;
 pub mod error;
 pub mod events;
 pub mod fifo;
+pub mod intern;
+pub mod rng;
 pub mod scheduler;
 pub mod time;
 pub mod trace;
@@ -68,6 +70,8 @@ pub use component::{Component, TickPhase};
 pub use error::SimError;
 pub use events::EventVector;
 pub use fifo::Fifo;
+pub use intern::ComponentId;
+pub use rng::Rng;
 pub use scheduler::{Edge, Scheduler};
 pub use time::{Frequency, SimTime};
 pub use trace::{Trace, TraceEntry};

@@ -4,21 +4,35 @@
 //! `pels.link0.trigger`, `ibex.irq_enter`, …) with their timestamp, and is
 //! the raw material for latency measurements: the paper's 2/7/16-cycle
 //! numbers are produced by subtracting trace timestamps.
+//!
+//! The record path is allocation-free: sources are interned
+//! [`ComponentId`]s and labels are `&'static str` (every label in the
+//! workspace is a literal), so recording an event is a plain `Vec` push of
+//! a small `Copy` struct. The string-keyed query helpers resolve names
+//! through the interning registry.
 
+use crate::intern::ComponentId;
 use crate::time::SimTime;
 use std::fmt;
 
 /// One recorded event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Time the event occurred.
     pub time: SimTime,
-    /// Hierarchical source name, e.g. `pels.link0`.
-    pub source: String,
+    /// Interned hierarchical source name, e.g. `pels.link0`.
+    pub source: ComponentId,
     /// Event label, e.g. `trigger`.
-    pub label: String,
+    pub label: &'static str,
     /// Optional payload (register value, line index, …).
     pub value: u64,
+}
+
+impl TraceEntry {
+    /// The source's name.
+    pub fn source_name(&self) -> &'static str {
+        self.source.name()
+    }
 }
 
 impl fmt::Display for TraceEntry {
@@ -27,7 +41,7 @@ impl fmt::Display for TraceEntry {
             f,
             "[{:>12}] {}.{} = {:#x}",
             self.time.to_string(),
-            self.source,
+            self.source.name(),
             self.label,
             self.value
         )
@@ -37,10 +51,12 @@ impl fmt::Display for TraceEntry {
 /// An append-only event trace with query helpers.
 ///
 /// ```
-/// use pels_sim::{SimTime, Trace};
+/// use pels_sim::{ComponentId, SimTime, Trace};
+/// let spi = ComponentId::intern("spi");
+/// let gpio = ComponentId::intern("gpio");
 /// let mut t = Trace::new();
-/// t.record(SimTime::from_ns(10), "spi", "eot", 0);
-/// t.record(SimTime::from_ns(80), "gpio", "set", 1);
+/// t.record(SimTime::from_ns(10), spi, "eot", 0);
+/// t.record(SimTime::from_ns(80), gpio, "set", 1);
 /// let lat = t.latency_between(("spi", "eot"), ("gpio", "set")).unwrap();
 /// assert_eq!(lat.as_ns(), 70);
 /// ```
@@ -78,17 +94,28 @@ impl Trace {
         self.enabled = enabled;
     }
 
-    /// Records an event (no-op when disabled).
-    pub fn record(&mut self, time: SimTime, source: &str, label: &str, value: u64) {
+    /// Records an event (no-op when disabled). Allocation-free apart from
+    /// amortized growth of the entry vector.
+    #[inline]
+    pub fn record(&mut self, time: SimTime, source: ComponentId, label: &'static str, value: u64) {
         if !self.enabled {
             return;
         }
         self.entries.push(TraceEntry {
             time,
-            source: source.to_owned(),
-            label: label.to_owned(),
+            source,
+            label,
             value,
         });
+    }
+
+    /// Records an event under a source name, interning it if needed.
+    /// Convenience layer for tests and cold paths.
+    pub fn record_named(&mut self, time: SimTime, source: &str, label: &'static str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.record(time, ComponentId::intern(source), label, value);
     }
 
     /// All recorded entries in order.
@@ -108,24 +135,29 @@ impl Trace {
 
     /// First entry matching `(source, label)`.
     pub fn first(&self, source: &str, label: &str) -> Option<&TraceEntry> {
+        let id = ComponentId::lookup(source)?;
         self.entries
             .iter()
-            .find(|e| e.source == source && e.label == label)
+            .find(|e| e.source == id && e.label == label)
     }
 
     /// Last entry matching `(source, label)`.
     pub fn last(&self, source: &str, label: &str) -> Option<&TraceEntry> {
+        let id = ComponentId::lookup(source)?;
         self.entries
             .iter()
             .rev()
-            .find(|e| e.source == source && e.label == label)
+            .find(|e| e.source == id && e.label == label)
     }
 
     /// All entries matching `(source, label)`.
     pub fn all(&self, source: &str, label: &str) -> Vec<&TraceEntry> {
+        let Some(id) = ComponentId::lookup(source) else {
+            return Vec::new();
+        };
         self.entries
             .iter()
-            .filter(|e| e.source == source && e.label == label)
+            .filter(|e| e.source == id && e.label == label)
             .collect()
     }
 
@@ -134,16 +166,13 @@ impl Trace {
     ///
     /// This is the latency-measurement primitive: time from a producer
     /// event to a consumer action.
-    pub fn latency_between(
-        &self,
-        from: (&str, &str),
-        to: (&str, &str),
-    ) -> Option<SimTime> {
+    pub fn latency_between(&self, from: (&str, &str), to: (&str, &str)) -> Option<SimTime> {
         let start = self.first(from.0, from.1)?;
+        let to_id = ComponentId::lookup(to.0)?;
         let end = self
             .entries
             .iter()
-            .find(|e| e.source == to.0 && e.label == to.1 && e.time >= start.time)?;
+            .find(|e| e.source == to_id && e.label == to.1 && e.time >= start.time)?;
         Some(end.time - start.time)
     }
 
@@ -185,11 +214,11 @@ mod tests {
 
     fn sample() -> Trace {
         let mut t = Trace::new();
-        t.record(SimTime::from_ns(0), "timer", "ovf", 0);
-        t.record(SimTime::from_ns(10), "spi", "eot", 0);
-        t.record(SimTime::from_ns(50), "gpio", "set", 1);
-        t.record(SimTime::from_ns(100), "spi", "eot", 1);
-        t.record(SimTime::from_ns(170), "gpio", "set", 0);
+        t.record_named(SimTime::from_ns(0), "timer", "ovf", 0);
+        t.record_named(SimTime::from_ns(10), "spi", "eot", 0);
+        t.record_named(SimTime::from_ns(50), "gpio", "set", 1);
+        t.record_named(SimTime::from_ns(100), "spi", "eot", 1);
+        t.record_named(SimTime::from_ns(170), "gpio", "set", 0);
         t
     }
 
@@ -199,7 +228,7 @@ mod tests {
         assert_eq!(t.first("spi", "eot").unwrap().time, SimTime::from_ns(10));
         assert_eq!(t.last("spi", "eot").unwrap().time, SimTime::from_ns(100));
         assert_eq!(t.all("spi", "eot").len(), 2);
-        assert!(t.first("nope", "x").is_none());
+        assert!(t.first("trace-test-unknown-source", "x").is_none());
     }
 
     #[test]
@@ -222,11 +251,12 @@ mod tests {
 
     #[test]
     fn disabled_trace_records_nothing() {
+        let a = ComponentId::intern("trace-test-a");
         let mut t = Trace::disabled();
-        t.record(SimTime::ZERO, "a", "b", 0);
+        t.record(SimTime::ZERO, a, "b", 0);
         assert!(t.is_empty());
         t.set_enabled(true);
-        t.record(SimTime::ZERO, "a", "b", 0);
+        t.record(SimTime::ZERO, a, "b", 0);
         assert_eq!(t.len(), 1);
     }
 

@@ -9,8 +9,11 @@ use pels_interconnect::{
     AddrRange, ApbFabric, ApbRequest, ApbSlave, ArbiterKind, MasterId, SlaveId, Topology,
 };
 use pels_periph::sensor::{Composite, Constant, GaussianNoise, Quantizer, Ramp, Sine};
-use pels_periph::{Adc, Gpio, I2c, L2Memory, PeriphCtx, Peripheral, SensorDevice, Spi, Timer, Uart, Watchdog};
-use pels_sim::{ActivityKind, ActivitySet, EventVector, Frequency, SimTime, Trace};
+use pels_periph::{
+    Adc, Gpio, I2c, IdleHint, L2Memory, PeriphCtx, Peripheral, SensorDevice, Spi, Timer, Uart,
+    Watchdog,
+};
+use pels_sim::{ActivityKind, ActivitySet, ComponentId, EventVector, Frequency, SimTime, Trace};
 
 /// The synthetic analog source behind the SPI/ADC front-ends.
 ///
@@ -263,6 +266,22 @@ impl SocBuilder {
         let uart_id = fabric.add_slave(slot(UART_OFFSET), Box::new(uart));
         let wdt_id = fabric.add_slave(slot(WDT_OFFSET), Box::new(wdt));
         let i2c_id = fabric.add_slave(slot(I2C_OFFSET), Box::new(i2c));
+        let slave_count = fabric.slave_count();
+
+        let clock_ids = ClockIds {
+            ibex: ComponentId::intern("ibex"),
+            fabric: ComponentId::intern("fabric"),
+            soc_ctrl: ComponentId::intern("soc_ctrl"),
+            periph_misc: ComponentId::intern("periph_misc"),
+            periphs: ["gpio", "timer", "spi", "adc", "uart", "wdt", "i2c"]
+                .iter()
+                .map(|n| ComponentId::intern(n))
+                .collect(),
+            pels: ComponentId::intern("pels"),
+            links: (0..pels_cfg.links)
+                .map(|i| ComponentId::intern(&format!("pels.link{i}")))
+                .collect(),
+        };
 
         Soc {
             freq: self.freq,
@@ -293,8 +312,40 @@ impl SocBuilder {
             i2c_id,
             cpu_awake_cycles: 0,
             window_cycles: 0,
+            sleep: vec![SlaveSleep::Awake; slave_count],
+            naive_ticking: false,
+            clock_ids,
         }
     }
+}
+
+/// Pre-interned component ids used on the per-drain clock-accounting
+/// path, so draining never re-interns (or re-formats) names.
+struct ClockIds {
+    ibex: ComponentId,
+    fabric: ComponentId,
+    soc_ctrl: ComponentId,
+    periph_misc: ComponentId,
+    periphs: Vec<ComponentId>,
+    pels: ComponentId,
+    links: Vec<ComponentId>,
+}
+
+/// Quiescence-scheduling state of one APB slave.
+#[derive(Debug, Clone, Copy)]
+enum SlaveSleep {
+    /// Ticked every cycle.
+    Awake,
+    /// Skipped since cycle `since` (the first un-ticked cycle); must be
+    /// ticked again no later than cycle `deadline`. `mask` is the
+    /// wake-event mask cached when the slave went to sleep (wiring is
+    /// construction-time static, and any register access wakes the slave
+    /// before it could change).
+    Asleep {
+        since: u64,
+        deadline: u64,
+        mask: EventVector,
+    },
 }
 
 /// The assembled PULPissimo-like SoC.
@@ -327,6 +378,12 @@ pub struct Soc {
     i2c_id: SlaveId,
     cpu_awake_cycles: u64,
     window_cycles: u64,
+    /// Per-slave quiescence state, indexed by slave index.
+    sleep: Vec<SlaveSleep>,
+    /// When set, every slave ticks every cycle (the reference scheduler
+    /// the differential property test compares against).
+    naive_ticking: bool,
+    clock_ids: ClockIds,
 }
 
 impl std::fmt::Debug for Soc {
@@ -374,6 +431,7 @@ struct CpuPort<'a> {
     fabric: &'a mut ApbFabric<Box<dyn Peripheral>>,
     master: MasterId,
     pels: &'a mut Pels,
+    pels_id: ComponentId,
     activity: &'a mut ActivitySet,
 }
 
@@ -418,7 +476,7 @@ impl CpuBus for CpuPort<'_> {
             // The config port is a simple APB endpoint: model its
             // setup+access as two extra stall cycles.
             if req.write {
-                self.activity.record("pels", ActivityKind::RegWrite, 1);
+                self.activity.record(self.pels_id, ActivityKind::RegWrite, 1);
                 match self.pels.config_write(off, req.wdata) {
                     Ok(()) => DataResult::Done {
                         value: 0,
@@ -427,7 +485,7 @@ impl CpuBus for CpuPort<'_> {
                     Err(_) => DataResult::Fault,
                 }
             } else {
-                self.activity.record("pels", ActivityKind::RegRead, 1);
+                self.activity.record(self.pels_id, ActivityKind::RegRead, 1);
                 match self.pels.config_read(off) {
                     Ok(v) => DataResult::Done {
                         value: v,
@@ -533,6 +591,11 @@ impl Soc {
     }
 
     fn periph_mut<P: 'static>(&mut self, id: SlaveId) -> &mut P {
+        // A direct mutable poke bypasses the bus, so none of the wake
+        // conditions would notice it: sync the skipped span and force
+        // the slave awake so its next tick sees the poked state.
+        self.sync_slaves();
+        self.sleep[id.index()] = SlaveSleep::Awake;
         self.fabric
             .slave_mut(id)
             .as_any_mut()
@@ -636,26 +699,103 @@ impl Soc {
         self.injected.set(line);
     }
 
+    /// Selects the reference scheduler: every peripheral ticks every
+    /// cycle, with no quiescence skipping. The default (`false`) skips
+    /// idle peripherals and reconstructs their skipped cycles in closed
+    /// form; both paths are observationally identical (same traces,
+    /// activity and architectural state — the differential property test
+    /// in `tests/` proves it).
+    pub fn set_naive_scheduling(&mut self, naive: bool) {
+        self.sync_slaves();
+        self.naive_ticking = naive;
+    }
+
+    /// Brings every sleeping slave's architectural state up to date
+    /// (closed-form catch-up over the skipped span) without waking it.
+    /// Called at every observation point — public step/run boundaries,
+    /// `run_until` predicates, activity drains — so user code never sees
+    /// lagging state.
+    fn sync_slaves(&mut self) {
+        let cycle = self.cycle;
+        let time = self.time();
+        let sleep = &mut self.sleep;
+        let mut ctx = PeriphCtx {
+            cycle,
+            time,
+            events_in: EventVector::EMPTY,
+            events_out: EventVector::EMPTY,
+            l2: &mut self.l2,
+            activity: &mut self.activity,
+            trace: &mut self.trace,
+        };
+        for (sid, p) in self.fabric.slaves_mut() {
+            if let SlaveSleep::Asleep { since, .. } = &mut sleep[sid.index()] {
+                let elapsed = cycle - *since;
+                if elapsed > 0 {
+                    p.catch_up(&mut ctx, elapsed);
+                    *since = cycle;
+                }
+            }
+        }
+    }
+
     /// Executes one bus-clock cycle (see the crate docs for the phase
     /// ordering).
     pub fn step(&mut self) {
+        self.step_inner();
+        self.sync_slaves();
+    }
+
+    fn step_inner(&mut self) {
         let time = self.time();
         let cycle = self.cycle;
 
         // 1. Peripherals (externally injected pulses appear alongside
-        //    the peripheral-driven wires).
+        //    the peripheral-driven wires). A sleeping slave is skipped
+        //    unless something can observe or perturb it this cycle: a
+        //    wire it watches is high, a bus request is pending or in
+        //    flight for it, its registers were accessed during the
+        //    previous cycle's fabric phases, or its self-declared
+        //    deadline arrived. Waking replays the skipped span in closed
+        //    form *before* the normal tick, while the state is still
+        //    exactly what the naive path would hold.
         let injected = std::mem::take(&mut self.injected);
+        let wires = self.prev_wires | injected;
+        let naive = self.naive_ticking;
+        let targeted = self.fabric.targeted_slaves();
+        let touched = self.fabric.touched_slaves();
         let pulses = {
+            let sleep = &mut self.sleep;
             let mut ctx = PeriphCtx {
                 cycle,
                 time,
-                events_in: self.prev_wires | injected,
+                events_in: wires,
                 events_out: EventVector::EMPTY,
                 l2: &mut self.l2,
                 activity: &mut self.activity,
                 trace: &mut self.trace,
             };
-            for (_, p) in self.fabric.slaves_mut() {
+            for (sid, p) in self.fabric.slaves_mut() {
+                let i = sid.index();
+                if !naive {
+                    if let SlaveSleep::Asleep {
+                        since,
+                        deadline,
+                        mask,
+                    } = sleep[i]
+                    {
+                        let bit = 1u64 << i;
+                        let wake = cycle >= deadline
+                            || wires.intersects(mask)
+                            || targeted & bit != 0
+                            || touched & bit != 0;
+                        if !wake {
+                            continue;
+                        }
+                        p.catch_up(&mut ctx, cycle - since);
+                        sleep[i] = SlaveSleep::Awake;
+                    }
+                }
                 p.tick(&mut ctx);
             }
             ctx.events_out | injected
@@ -682,6 +822,7 @@ impl Soc {
                 fabric: &mut self.fabric,
                 master: self.cpu_master,
                 pels: &mut self.pels,
+                pels_id: self.clock_ids.pels,
                 activity: &mut self.activity,
             };
             self.cpu.tick(&mut bus, self.irq_pending);
@@ -693,6 +834,40 @@ impl Soc {
         // 4. Fabric APB phases.
         self.fabric.tick();
 
+        // 4b. Sleep decisions, on post-bus state: a slave whose idle
+        //     hint says the next n-1 ticks are unobservable sleeps with
+        //     an absolute deadline; an indefinitely idle one sleeps
+        //     until an external wake condition. Hints are queried after
+        //     the fabric phases so a register write landing this cycle
+        //     is reflected.
+        if !naive {
+            let sleep = &mut self.sleep;
+            for (sid, p) in self.fabric.slaves_mut() {
+                let i = sid.index();
+                if matches!(sleep[i], SlaveSleep::Awake) {
+                    match p.idle_hint() {
+                        IdleHint::Busy => {}
+                        IdleHint::IdleFor(n) => {
+                            if n >= 2 {
+                                sleep[i] = SlaveSleep::Asleep {
+                                    since: cycle + 1,
+                                    deadline: cycle.saturating_add(n),
+                                    mask: p.wake_mask(),
+                                };
+                            }
+                        }
+                        IdleHint::Idle => {
+                            sleep[i] = SlaveSleep::Asleep {
+                                since: cycle + 1,
+                                deadline: u64::MAX,
+                                mask: p.wake_mask(),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+
         // 5. Bookkeeping.
         if matches!(self.cpu.state(), CpuState::Running | CpuState::MemWait) {
             self.cpu_awake_cycles += 1;
@@ -702,22 +877,89 @@ impl Soc {
         self.window_cycles += 1;
     }
 
-    /// Runs `n` cycles.
-    pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+    /// Attempts to advance up to `budget` cycles in one jump, possible
+    /// only when the whole SoC is provably inert: the CPU asleep (or
+    /// halted) with no wakeable interrupt, every peripheral asleep and
+    /// none of their wake wires high, the fabric empty, PELS steady, and
+    /// the wire image self-reproducing. Returns the cycles skipped (0 if
+    /// any component might act). Skipped peripherals are replayed by
+    /// `catch_up` at the next wake or sync, so the jump is
+    /// observationally identical to stepping — the differential test in
+    /// `tests/quiescence.rs` exercises exactly this path via random
+    /// `run` segment lengths.
+    fn try_skip(&mut self, budget: u64) -> u64 {
+        if self.naive_ticking || budget == 0 || !self.injected.is_empty() {
+            return 0;
         }
+        let wires = self.prev_wires;
+        // Every slave must be asleep, unwakeable by the current wires,
+        // and strictly before its deadline; the span is bounded by the
+        // nearest deadline.
+        let mut span = budget;
+        for s in &self.sleep {
+            match *s {
+                SlaveSleep::Awake => return 0,
+                SlaveSleep::Asleep { deadline, mask, .. } => {
+                    if wires.intersects(mask) {
+                        return 0;
+                    }
+                    let remain = deadline.saturating_sub(self.cycle);
+                    if remain == 0 {
+                        return 0;
+                    }
+                    span = span.min(remain);
+                }
+            }
+        }
+        if !self.fabric.is_quiescent() {
+            return 0;
+        }
+        // Peripheral pulses are empty while all slaves sleep, so PELS
+        // sees no external events; its output must already be latched
+        // and must be exactly the standing wire image (pulses would decay
+        // next cycle, so a mismatch means the image is still settling).
+        match self.pels.steady_output(EventVector::EMPTY) {
+            Some(visible) if visible == wires => {}
+            _ => return 0,
+        }
+        // The CPU commits the skip (or vetoes it if running/stalled or
+        // about to take an interrupt).
+        if !self.cpu.skip_idle_cycles(span, self.irq_pending) {
+            return 0;
+        }
+        self.pels.skip_cycles(span);
+        self.fabric.skip_cycles(span);
+        self.cycle += span;
+        self.window_cycles += span;
+        span
+    }
+
+    /// Runs `n` cycles, jumping over whole-SoC idle spans when possible.
+    pub fn run(&mut self, n: u64) {
+        let mut done = 0;
+        while done < n {
+            let skipped = self.try_skip(n - done);
+            if skipped == 0 {
+                self.step_inner();
+                done += 1;
+            } else {
+                done += skipped;
+            }
+        }
+        self.sync_slaves();
     }
 
     /// Runs until `pred(self)` holds or `max_cycles` elapse; returns
     /// `true` if the predicate was met.
     pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Soc) -> bool) -> bool {
         for _ in 0..max_cycles {
+            self.sync_slaves();
             if pred(self) {
                 return true;
             }
-            self.step();
+            self.step_inner();
         }
+        self.sync_slaves();
         pred(self)
     }
 
@@ -726,6 +968,7 @@ impl Soc {
     /// accesses — plus per-component clock-cycle counts for the window
     /// since the previous drain. Resets the window.
     pub fn drain_activity(&mut self) -> ActivitySet {
+        self.sync_slaves();
         let mut set = std::mem::take(&mut self.activity);
         self.cpu.drain_activity(&mut set);
         self.pels.drain_activity(&mut set);
@@ -738,24 +981,21 @@ impl Soc {
         // Clock accounting: the core clock is gated during WFI sleep; the
         // rest of the SoC clocks every cycle of the window.
         let cycles = self.window_cycles;
-        set.record("ibex", ActivityKind::ClockCycle, self.cpu_awake_cycles);
-        set.record("fabric", ActivityKind::ClockCycle, cycles);
-        set.record("soc_ctrl", ActivityKind::ClockCycle, cycles);
+        let ids = &self.clock_ids;
+        set.record(ids.ibex, ActivityKind::ClockCycle, self.cpu_awake_cycles);
+        set.record(ids.fabric, ActivityKind::ClockCycle, cycles);
+        set.record(ids.soc_ctrl, ActivityKind::ClockCycle, cycles);
         // PULPissimo clock-gates idle peripherals (architectural gating in
         // the uDMA subsystem); a ~10% residual covers the gating logic and
         // always-on sampling flops. Busy cycles are charged separately via
         // each peripheral's ActiveCycle records.
-        set.record("periph_misc", ActivityKind::ClockCycle, cycles / 10);
-        for name in ["gpio", "timer", "spi", "adc", "uart", "wdt", "i2c"] {
-            set.record(name, ActivityKind::ClockCycle, cycles / 10);
+        set.record(ids.periph_misc, ActivityKind::ClockCycle, cycles / 10);
+        for &id in &ids.periphs {
+            set.record(id, ActivityKind::ClockCycle, cycles / 10);
         }
-        set.record("pels", ActivityKind::ClockCycle, cycles);
-        for i in 0..self.pels.link_count() {
-            set.record(
-                &format!("pels.link{i}"),
-                ActivityKind::ClockCycle,
-                cycles,
-            );
+        set.record(ids.pels, ActivityKind::ClockCycle, cycles);
+        for &link in &ids.links {
+            set.record(link, ActivityKind::ClockCycle, cycles);
         }
         self.cpu_awake_cycles = 0;
         self.window_cycles = 0;

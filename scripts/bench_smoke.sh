@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Smoke-runs the sim_throughput bench group so performance regressions are
+# at least *executed* on every verify pass, not just compiled. Fails on
+# any panic or non-zero exit. Part of the tier-1 verify flow (ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -q -p pels-bench --bench sim_throughput -- --sample-size 10
+echo "bench_smoke: sim_throughput OK"

@@ -1,6 +1,7 @@
-//! Property-based tests on PELS behavioural invariants: trigger
-//! accounting, latency determinism, program robustness, arbiter fairness
-//! and power-model monotonicity.
+//! Randomized tests on PELS behavioural invariants: trigger accounting,
+//! latency determinism, program robustness, arbiter fairness and
+//! power-model monotonicity. Seeded [`Rng`] draws keep the suite
+//! deterministic without an external property-testing crate.
 
 use pels_repro::core::pels::NoBus;
 use pels_repro::core::{
@@ -8,32 +9,36 @@ use pels_repro::core::{
 };
 use pels_repro::interconnect::{Arbiter, RoundRobin};
 use pels_repro::power::{Calibration, PowerModel};
-use pels_repro::sim::{ActivityKind, ActivitySet, EventVector, SimTime, Trace};
-use proptest::prelude::*;
+use pels_repro::sim::{ActivityKind, ActivitySet, EventVector, Rng, SimTime, Trace};
 
-/// Random *terminating* programs: no `loop` commands with a jump-back
+/// Random *terminating* program: no `loop` commands with a jump-back
 /// (forward-only control flow), bounded waits.
-fn arb_terminating_program(max_len: usize) -> impl Strategy<Value = Program> {
-    let cmd = prop_oneof![
-        Just(Command::Nop),
-        (0u32..20).prop_map(|cycles| Command::Wait { cycles }),
-        (0u8..=1, any::<u32>()).prop_map(|(group, mask)| Command::Action {
-            mode: ActionMode::Pulse,
-            group,
-            mask,
-        }),
-    ];
-    proptest::collection::vec(cmd, 1..max_len).prop_map(|mut cmds| {
-        cmds.push(Command::Halt);
-        Program::new(cmds).expect("generated commands are always valid")
-    })
+fn arb_terminating_program(rng: &mut Rng, max_len: usize) -> Program {
+    let len = 1 + rng.index(max_len - 1);
+    let mut cmds: Vec<Command> = (0..len)
+        .map(|_| match rng.index(3) {
+            0 => Command::Nop,
+            1 => Command::Wait {
+                cycles: rng.next_below(20) as u32,
+            },
+            _ => Command::Action {
+                mode: ActionMode::Pulse,
+                group: rng.index(2) as u8,
+                mask: rng.next_u32(),
+            },
+        })
+        .collect();
+    cmds.push(Command::Halt);
+    Program::new(cmds).expect("generated commands are always valid")
 }
 
-proptest! {
-    /// Any bus-free program terminates: the link returns to idle within
-    /// a budget bounded by its wait cycles, and never panics.
-    #[test]
-    fn random_programs_terminate(program in arb_terminating_program(12)) {
+/// Any bus-free program terminates: the link returns to idle within a
+/// budget bounded by its wait cycles, and never panics.
+#[test]
+fn random_programs_terminate() {
+    let mut rng = Rng::seed_from_u64(0x9E15_0001);
+    for case in 0..128 {
+        let program = arb_terminating_program(&mut rng, 12);
         let mut pels = PelsBuilder::new().links(1).scm_lines(16).build();
         pels.link_mut(0).set_mask(EventVector::mask_of(&[0]));
         pels.link_mut(0).load_program(&program).expect("16-line scm fits");
@@ -50,18 +55,23 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(idle_at.is_some(), "program must halt within {budget} cycles");
+        assert!(
+            idle_at.is_some(),
+            "case {case}: program must halt within {budget} cycles"
+        );
     }
+}
 
-    /// The instant-action latency is exactly 2 cycles for any action
-    /// payload and any trigger mask containing the event line — the
-    /// fixed-latency guarantee the paper sells.
-    #[test]
-    fn instant_latency_is_payload_independent(
-        mask in 1u32..,
-        group in 0u8..=1,
-        extra_lines in any::<u16>(),
-    ) {
+/// The instant-action latency is exactly 2 cycles for any action payload
+/// and any trigger mask containing the event line — the fixed-latency
+/// guarantee the paper sells.
+#[test]
+fn instant_latency_is_payload_independent() {
+    let mut rng = Rng::seed_from_u64(0x9E15_0002);
+    for case in 0..128 {
+        let mask = rng.next_u32().max(1);
+        let group = rng.index(2) as u8;
+        let extra_lines = rng.next_u32() as u16;
         let trigger_line = 5u32;
         let mut listen = EventVector::mask_of(&[trigger_line]);
         // Add arbitrary other lines to the mask; they must not matter
@@ -74,10 +84,17 @@ proptest! {
         let mut pels = PelsBuilder::new().links(1).scm_lines(4).build();
         pels.link_mut(0).set_mask(listen).set_condition(TriggerCond::Any);
         pels.link_mut(0)
-            .load_program(&Program::new(vec![
-                Command::Action { mode: ActionMode::Pulse, group, mask },
-                Command::Halt,
-            ]).expect("valid"))
+            .load_program(
+                &Program::new(vec![
+                    Command::Action {
+                        mode: ActionMode::Pulse,
+                        group,
+                        mask,
+                    },
+                    Command::Halt,
+                ])
+                .expect("valid"),
+            )
             .expect("fits");
         let mut trace = Trace::disabled();
         let mut bus = NoBus;
@@ -91,50 +108,62 @@ proptest! {
             outs.push(pels.tick(ev, SimTime::from_ps(cycle * 1000), &mut bus, &mut trace));
         }
         let expected = EventVector::from_bits(u64::from(mask) << (32 * u64::from(group)));
-        prop_assert!(outs[0].is_empty());
-        prop_assert!(outs[1].is_empty());
-        prop_assert_eq!(outs[2], expected, "pulse exactly at cycle 2");
-        prop_assert!(outs[3].is_empty());
+        assert!(outs[0].is_empty(), "case {case}");
+        assert!(outs[1].is_empty(), "case {case}");
+        assert_eq!(outs[2], expected, "case {case}: pulse exactly at cycle 2");
+        assert!(outs[3].is_empty(), "case {case}");
     }
+}
 
-    /// Trigger accounting conservation: pops + pending + drops equals
-    /// the number of accepted triggers, for arbitrary event sequences.
-    #[test]
-    fn trigger_unit_conserves_tokens(
-        depth in 0usize..6,
-        events in proptest::collection::vec(any::<u64>(), 1..64),
-        mask in any::<u64>(),
-        pop_every in 1u8..5,
-    ) {
+/// Trigger accounting conservation: pops + pending + drops equals the
+/// number of accepted triggers, for arbitrary event sequences.
+#[test]
+fn trigger_unit_conserves_tokens() {
+    let mut rng = Rng::seed_from_u64(0x9E15_0003);
+    for case in 0..256 {
+        let depth = rng.index(6);
+        let n_events = 1 + rng.index(63);
+        let mask = rng.next_u64();
+        let pop_every = rng.range_u64(1, 5) as usize;
         let mut t = TriggerUnit::new(depth);
         t.set_mask(EventVector::from_bits(mask));
         let mut pops = 0u64;
-        for (i, &e) in events.iter().enumerate() {
-            t.sample(EventVector::from_bits(e), i as u64);
-            if i % usize::from(pop_every) == 0 && t.pop().is_some() {
+        for i in 0..n_events {
+            t.sample(EventVector::from_bits(rng.next_u64()), i as u64);
+            if i % pop_every == 0 && t.pop().is_some() {
                 pops += 1;
             }
         }
         let pending = t.pending() as u64;
-        prop_assert_eq!(t.triggers(), pops + pending + t.drops());
-        prop_assert!(pending <= depth as u64);
+        assert_eq!(
+            t.triggers(),
+            pops + pending + t.drops(),
+            "case {case}: depth {depth} mask {mask:#x}"
+        );
+        assert!(pending <= depth as u64, "case {case}");
     }
+}
 
-    /// Round-robin fairness: for persistent requesters, grant counts
-    /// never differ by more than one, for any requester subset.
-    #[test]
-    fn round_robin_is_fair_for_any_subset(
-        n in 1usize..8,
-        subset in any::<u8>(),
-        rounds in 10usize..200,
-    ) {
+/// Round-robin fairness: for persistent requesters, grant counts never
+/// differ by more than one, for any requester subset.
+#[test]
+fn round_robin_is_fair_for_any_subset() {
+    let mut rng = Rng::seed_from_u64(0x9E15_0004);
+    let mut cases = 0;
+    while cases < 128 {
+        let n = 1 + rng.index(7);
+        let subset = rng.next_u32() as u8;
+        let rounds = rng.range_u64(10, 200) as usize;
         let requests: Vec<bool> = (0..n).map(|i| subset & (1 << i) != 0).collect();
-        prop_assume!(requests.iter().any(|&r| r));
+        if !requests.iter().any(|&r| r) {
+            continue;
+        }
+        cases += 1;
         let mut rr = RoundRobin::new();
         let mut grants = vec![0u64; n];
         for _ in 0..rounds {
             let g = rr.grant(&requests).expect("someone requests");
-            prop_assert!(requests[g], "only requesters are granted");
+            assert!(requests[g], "only requesters are granted");
             grants[g] += 1;
         }
         let active: Vec<u64> = grants
@@ -145,49 +174,78 @@ proptest! {
             .collect();
         let min = active.iter().min().expect("non-empty");
         let max = active.iter().max().expect("non-empty");
-        prop_assert!(max - min <= 1, "grants {grants:?} for requests {requests:?}");
+        assert!(
+            max - min <= 1,
+            "grants {grants:?} for requests {requests:?}"
+        );
     }
+}
 
-    /// Power is monotone in activity: adding events never lowers the
-    /// reported total.
-    #[test]
-    fn power_is_monotone_in_activity(
-        base in proptest::collection::vec((0usize..4, 0u64..1000), 0..16),
-        extra_kind in 0usize..4,
-        extra in 1u64..1000,
-    ) {
-        let kinds = [
-            ActivityKind::SramRead,
-            ActivityKind::BusTransfer,
-            ActivityKind::InstrRetired,
-            ActivityKind::ClockCycle,
-        ];
+/// Power is monotone in activity: adding events never lowers the
+/// reported total.
+#[test]
+fn power_is_monotone_in_activity() {
+    let mut rng = Rng::seed_from_u64(0x9E15_0005);
+    let kinds = [
+        ActivityKind::SramRead,
+        ActivityKind::BusTransfer,
+        ActivityKind::InstrRetired,
+        ActivityKind::ClockCycle,
+    ];
+    for case in 0..256 {
         let mut model = PowerModel::new(Calibration::tsmc65());
         model.add_component("x", 20.0);
         let mut a = ActivitySet::new();
-        for (k, n) in base {
-            a.record("x", kinds[k], n);
+        for _ in 0..rng.index(16) {
+            a.record_named("x", kinds[rng.index(4)], rng.next_below(1000));
         }
+        let extra_kind = rng.index(4);
+        let extra = rng.range_u64(1, 1000);
         let window = SimTime::from_us(10);
         let before = model.report(&a, window).total().as_uw();
-        a.record("x", kinds[extra_kind], extra);
+        a.record_named("x", kinds[extra_kind], extra);
         let after = model.report(&a, window).total().as_uw();
-        prop_assert!(after >= before, "{after} < {before}");
+        assert!(after >= before, "case {case}: {after} < {before}");
     }
+}
 
-    /// A `jump-if` with any condition either falls through or redirects —
-    /// and the destination command executes in both cases (no lost
-    /// control flow), for arbitrary operands and datapath values.
-    #[test]
-    fn jump_if_always_reaches_a_pulse(cond_idx in 0usize..6, operand in any::<u32>()) {
-        let cond = [Cond::Eq, Cond::Ne, Cond::LtU, Cond::GeU, Cond::LtS, Cond::GeS][cond_idx];
+/// A `jump-if` with any condition either falls through or redirects —
+/// and the destination command executes in both cases (no lost control
+/// flow), for arbitrary operands and datapath values.
+#[test]
+fn jump_if_always_reaches_a_pulse() {
+    let mut rng = Rng::seed_from_u64(0x9E15_0006);
+    let conds = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::LtU,
+        Cond::GeU,
+        Cond::LtS,
+        Cond::GeS,
+    ];
+    for case in 0..128 {
+        let cond = conds[rng.index(6)];
+        let operand = if rng.ratio(1, 4) { 0 } else { rng.next_u32() };
         // dpr is 0 (no capture ran). Both paths pulse a different line.
         let program = Program::new(vec![
-            Command::JumpIf { cond, target: 3, operand },
-            Command::Action { mode: ActionMode::Pulse, group: 0, mask: 1 },
+            Command::JumpIf {
+                cond,
+                target: 3,
+                operand,
+            },
+            Command::Action {
+                mode: ActionMode::Pulse,
+                group: 0,
+                mask: 1,
+            },
             Command::Halt,
-            Command::Action { mode: ActionMode::Pulse, group: 0, mask: 2 },
-        ]).expect("valid");
+            Command::Action {
+                mode: ActionMode::Pulse,
+                group: 0,
+                mask: 2,
+            },
+        ])
+        .expect("valid");
         let mut pels = PelsBuilder::new().links(1).scm_lines(4).build();
         pels.link_mut(0).set_mask(EventVector::mask_of(&[0]));
         pels.link_mut(0).load_program(&program).expect("fits");
@@ -200,8 +258,16 @@ proptest! {
             ev = EventVector::EMPTY;
         }
         let taken = cond.eval(0, operand);
-        prop_assert_eq!(seen.is_set(1), taken, "taken path pulses line 1");
-        prop_assert_eq!(seen.is_set(0), !taken, "fall-through pulses line 0");
-        prop_assert!(!pels.is_busy(), "program halted either way");
+        assert_eq!(
+            seen.is_set(1),
+            taken,
+            "case {case}: taken path pulses line 1"
+        );
+        assert_eq!(
+            seen.is_set(0),
+            !taken,
+            "case {case}: fall-through pulses line 0"
+        );
+        assert!(!pels.is_busy(), "case {case}: program halted either way");
     }
 }
