@@ -2,18 +2,31 @@
 //!
 //! Regenerates: paper Figure 5 — the iso-latency and iso-frequency power
 //! comparison between PELS-mediated and Ibex-interrupt-mediated linking.
+//! The scenario pair is submitted through the fleet engine (one batch,
+//! both runs in parallel on a multi-core host).
 
 use pels_bench::experiments;
 use pels_bench::harness::Bench;
+use pels_fleet::FleetEngine;
 use pels_soc::{Mediator, Scenario};
 
 fn main() {
     let bench = Bench::from_args("fig5").sample_size(10);
-    bench.run("iso_latency_pels_run", || {
-        Scenario::iso_latency(Mediator::PelsSequenced).run()
-    });
-    bench.run("iso_latency_ibex_run", || {
-        Scenario::iso_latency(Mediator::IbexIrq).run()
+    let engine = FleetEngine::auto();
+    let pair = vec![
+        (
+            "iso-latency/pels".to_string(),
+            Scenario::iso_latency(Mediator::PelsSequenced),
+        ),
+        (
+            "iso-latency/ibex".to_string(),
+            Scenario::iso_latency(Mediator::IbexIrq),
+        ),
+    ];
+    bench.run("iso_latency_pair_fleet", || {
+        let report = engine.run_scenarios(&pair);
+        assert_eq!(report.failed().count(), 0);
+        report
     });
     bench.run("full_figure", experiments::fig5);
 }

@@ -1,16 +1,29 @@
 //! Bench: the Figure 6b PULPissimo breakdown.
 //!
 //! Regenerates: paper Figure 6b — the share of PULPissimo area a 4-link
-//! PELS occupies, with and without the 192 KiB L2 SRAM.
+//! PELS occupies, with and without the 192 KiB L2 SRAM. The breakdown
+//! grid (links × SCM lines) fans out through the fleet engine's generic
+//! map.
 
 use pels_bench::harness::Bench;
+use pels_fleet::{FleetEngine, JobError};
 use pels_power::pulpissimo_breakdown;
 
 fn main() {
     let bench = Bench::from_args("fig6b").sample_size(10);
-    bench.run("breakdown", || {
-        let (blocks, frac_logic, frac_sram) = pulpissimo_breakdown(4, 6);
-        assert!(frac_logic > frac_sram);
-        blocks
+    let engine = FleetEngine::auto();
+    let grid: Vec<(usize, usize)> = (1..=8).flat_map(|l| [4, 6, 8].map(|s| (l, s))).collect();
+    bench.run("breakdown_grid", || {
+        let results = engine.map(
+            &grid,
+            |&(links, lines)| (links * lines) as u64,
+            |&(links, lines)| {
+                let (blocks, frac_logic, frac_sram) = pulpissimo_breakdown(links, lines);
+                assert!(frac_logic > frac_sram);
+                Ok::<_, JobError>(blocks)
+            },
+        );
+        assert!(results.iter().all(|r| r.result.is_ok()));
+        results
     });
 }

@@ -1,0 +1,37 @@
+//! Bench: fleet batch throughput.
+//!
+//! Times the reference 8-job sweep (2 mediators × 2 frequencies × 2 link
+//! counts) on a single worker and on the full worker pool, reporting
+//! jobs per second for each. On a multi-core host the pool run should
+//! approach `workers ×` the serial rate; the engine also verifies the
+//! two runs reduce to bit-identical digests.
+
+use pels_bench::harness::Bench;
+use pels_fleet::{engine::host_parallelism, FleetEngine, SweepSpec};
+use pels_soc::Mediator;
+
+fn main() {
+    let bench = Bench::from_args("fleet").sample_size(10);
+    let spec = SweepSpec::new()
+        .mediators(&[Mediator::PelsSequenced, Mediator::PelsInstant])
+        .freqs_mhz(&[27.0, 55.0])
+        .links(&[1, 4]);
+    let jobs = spec.jobs().expect("reference sweep is valid");
+    let n = jobs.len() as u64;
+
+    let serial = FleetEngine::new(1);
+    let pool = FleetEngine::auto();
+    println!(
+        "fleet: {n} jobs, host parallelism {}, pool workers {}",
+        host_parallelism(),
+        pool.workers()
+    );
+
+    let d1 = serial.run_scenarios(&jobs).digest();
+    bench.run_throughput("serial_1_worker", n, || serial.run_scenarios(&jobs));
+    let sample = bench.run_throughput("pool_auto_workers", n, || pool.run_scenarios(&jobs));
+    let _ = sample;
+    let dn = pool.run_scenarios(&jobs).digest();
+    assert_eq!(d1, dn, "fleet reports must be bit-identical across worker counts");
+    println!("fleet: digest {d1:016x} identical on 1 and {} worker(s)", pool.workers());
+}

@@ -31,8 +31,11 @@ fn main() {
     });
 
     for mediator in [Mediator::PelsSequenced, Mediator::IbexIrq] {
-        let mut s = Scenario::iso_frequency(mediator);
-        s.events = 50;
+        let s = Scenario::builder()
+            .mediator(mediator)
+            .events(50)
+            .build()
+            .expect("valid scenario");
         bench.run(&format!("linking_workload/{mediator}"), || {
             s.run().events_completed
         });

@@ -8,6 +8,7 @@
 //! the contention relief a per-slave crossbar buys (Section III-1).
 
 use pels_core::{ActionMode, Command, Program, TriggerCond};
+use pels_fleet::{FleetEngine, JobError};
 use pels_interconnect::{ArbiterKind, Topology};
 use pels_periph::Timer;
 use pels_soc::mem_map::{pels_word_offset, APB_BASE, GPIO_OFFSET, TIMER_OFFSET, UART_OFFSET, WDT_OFFSET};
@@ -15,6 +16,14 @@ use pels_soc::{Mediator, Scenario, Soc, SocBuilder};
 use pels_interconnect::ApbSlave;
 use pels_sim::EventVector;
 use std::fmt::Write as _;
+
+/// Unwraps a batch of infallible fleet jobs back into plain results.
+fn collect_infallible<R>(results: Vec<pels_fleet::JobResult<R>>) -> Vec<R> {
+    results
+        .into_iter()
+        .map(|r| r.result.expect("ablation jobs are infallible"))
+        .collect()
+}
 
 /// Result of the SCM-vs-shared-memory fetch ablation.
 #[derive(Debug, Clone, Copy)]
@@ -96,9 +105,11 @@ pub struct FifoAblation {
 /// for several FIFO depths (depth 0 = the unbuffered strawman; the paper
 /// buffers "to prevent interference with a running execution unit").
 pub fn fifo_depth_sweep() -> Vec<FifoAblation> {
-    [0usize, 1, 2, 4]
-        .into_iter()
-        .map(|depth| {
+    let depths = [0usize, 1, 2, 4];
+    collect_infallible(FleetEngine::auto().map(
+        &depths,
+        |_| 1,
+        |&depth| {
             let mut soc = SocBuilder::new().fifo_depth(depth).build();
             {
                 let link = soc.pels_mut().link_mut(0);
@@ -128,13 +139,13 @@ pub fn fifo_depth_sweep() -> Vec<FifoAblation> {
             arm(&mut soc, 3);
             soc.run(400);
             let trig = soc.pels().link(0).trigger();
-            FifoAblation {
+            Ok::<_, JobError>(FifoAblation {
                 depth,
                 triggers: trig.triggers(),
                 dropped: trig.drops(),
-            }
-        })
-        .collect()
+            })
+        },
+    ))
 }
 
 /// Result of the arbitration-policy ablation.
@@ -152,19 +163,23 @@ pub struct ArbiterAblation {
 /// different peripherals over the shared bus, and measures the spread of
 /// completion latencies under round-robin vs fixed-priority arbitration.
 pub fn arbiter_contention() -> Vec<ArbiterAblation> {
-    [ArbiterKind::RoundRobin, ArbiterKind::FixedPriority]
-        .into_iter()
-        .map(|policy| run_contention(policy, Topology::Shared))
-        .collect()
+    let policies = [ArbiterKind::RoundRobin, ArbiterKind::FixedPriority];
+    collect_infallible(FleetEngine::auto().map(
+        &policies,
+        |_| 1,
+        |&policy| Ok::<_, JobError>(run_contention(policy, Topology::Shared)),
+    ))
 }
 
 /// Same contention pattern, comparing the shared bus against a per-slave
 /// crossbar (the topology axis of Section IV-A).
 pub fn topology_contention() -> Vec<(Topology, ArbiterAblation)> {
-    [Topology::Shared, Topology::PerSlaveCrossbar]
-        .into_iter()
-        .map(|t| (t, run_contention(ArbiterKind::RoundRobin, t)))
-        .collect()
+    let topologies = [Topology::Shared, Topology::PerSlaveCrossbar];
+    collect_infallible(FleetEngine::auto().map(
+        &topologies,
+        |_| 1,
+        |&t| Ok::<_, JobError>((t, run_contention(ArbiterKind::RoundRobin, t))),
+    ))
 }
 
 fn run_contention(policy: ArbiterKind, topology: Topology) -> ArbiterAblation {
@@ -250,20 +265,25 @@ pub struct JitterPoint {
 /// stay jitter-free because they never touch the bus; sequenced actions
 /// absorb arbitration slots; a contended handler varies most.
 pub fn jitter_under_contention() -> Vec<JitterPoint> {
-    [Mediator::PelsInstant, Mediator::PelsSequenced]
-        .into_iter()
-        .map(|mediator| {
-            let mut s = Scenario::latency_probe(mediator);
+    let mediators = [Mediator::PelsInstant, Mediator::PelsSequenced];
+    collect_infallible(FleetEngine::auto().map(
+        &mediators,
+        |_| 1,
+        |&mediator| {
             // A noisy sensor makes the contending CPU loop's length
             // data-dependent (below), so each linking event meets the bus
             // in a different phase — without it, the periodic poll loop
             // phase-locks to the events and jitter degenerates to zero.
-            s.sensor = pels_soc::SensorKind::NoisyRamp {
-                start: 2.5,
-                slope_per_us: 0.0,
-                sigma: 0.05,
-                seed: 99,
-            };
+            let s = Scenario::latency_probe(mediator)
+                .to_builder()
+                .sensor(pels_soc::SensorKind::NoisyRamp {
+                    start: 2.5,
+                    slope_per_us: 0.0,
+                    sigma: 0.05,
+                    seed: 99,
+                })
+                .build()
+                .expect("jitter scenario is valid");
             let mut soc = SocBuilder::new()
                 .frequency(s.freq)
                 .sensor(s.sensor)
@@ -307,14 +327,14 @@ pub fn jitter_under_contention() -> Vec<JitterPoint> {
             assert!(lats.len() >= 20, "{mediator}: events completed under load");
             let min = *lats.iter().min().expect("non-empty");
             let max = *lats.iter().max().expect("non-empty");
-            JitterPoint {
+            Ok::<_, JobError>(JitterPoint {
                 mediator,
                 min,
                 max,
                 jitter: max - min,
-            }
-        })
-        .collect()
+            })
+        },
+    ))
 }
 
 /// Result of the calibration-sensitivity study.
@@ -335,8 +355,27 @@ pub fn calibration_sensitivity() -> Vec<SensitivityPoint> {
     use pels_power::{Calibration, PowerModel};
     use pels_soc::power_setup::component_areas;
 
-    let pels_report = Scenario::iso_latency(Mediator::PelsSequenced).run();
-    let ibex_report = Scenario::iso_latency(Mediator::IbexIrq).run();
+    // The two measurement runs are independent: one fleet batch. The
+    // sensitivity sweep itself is pure arithmetic over the *same*
+    // measured activity, so it stays serial.
+    let jobs = vec![
+        (
+            "pels".to_string(),
+            Scenario::iso_latency(Mediator::PelsSequenced),
+        ),
+        ("ibex".to_string(), Scenario::iso_latency(Mediator::IbexIrq)),
+    ];
+    let fleet = FleetEngine::auto().run_scenarios(&jobs);
+    let pels_report = fleet
+        .outcome("pels")
+        .expect("pels measurement succeeded")
+        .report
+        .clone();
+    let ibex_report = fleet
+        .outcome("ibex")
+        .expect("ibex measurement succeeded")
+        .report
+        .clone();
 
     [10.0, 15.0, 20.0, 25.0, 30.0]
         .into_iter()
@@ -442,8 +481,11 @@ pub struct LinkScalingPoint {
 /// simultaneously": 1..=8 links all fire on one event, each issuing one
 /// sequenced write over the shared bus.
 pub fn link_scaling() -> Vec<LinkScalingPoint> {
-    (1..=8)
-        .map(|links| {
+    let link_counts: Vec<usize> = (1..=8).collect();
+    collect_infallible(FleetEngine::auto().map(
+        &link_counts,
+        |&links| links as u64,
+        |&links| {
             let mut soc = SocBuilder::new()
                 .pels_links(links)
                 .scm_lines(4)
@@ -491,13 +533,13 @@ pub fn link_scaling() -> Vec<LinkScalingPoint> {
                 })
                 .collect();
             lats.sort_unstable();
-            LinkScalingPoint {
+            Ok::<_, JobError>(LinkScalingPoint {
                 links,
                 best_latency: lats[0],
                 worst_latency: *lats.last().expect("non-empty"),
-            }
-        })
-        .collect()
+            })
+        },
+    ))
 }
 
 /// Renders all ablations as text.

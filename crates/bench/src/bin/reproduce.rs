@@ -8,9 +8,13 @@
 //! Artifacts: `table1`, `fig3`, `fig5`, `latency`, `fig6a`, `fig6b`,
 //! `ablations`, `extensions`, `sim_throughput` (which additionally
 //! writes `BENCH_sim_throughput.json` so the simulator's own speed is
-//! tracked across PRs).
+//! tracked across PRs), and `fleet` (which runs a reference sweep on 1
+//! worker and on all available workers, checks the two reports are
+//! bit-identical, and writes `BENCH_fleet_throughput.json`).
 
 use pels_bench::{ablations, experiments, sota, throughput};
+use pels_fleet::{report as fleet_report, FleetEngine, SweepSpec};
+use pels_soc::Mediator;
 use std::process::ExitCode;
 
 const ALL: &[&str] = &[
@@ -23,7 +27,50 @@ const ALL: &[&str] = &[
     "ablations",
     "extensions",
     "sim_throughput",
+    "fleet",
 ];
+
+/// The reference 8-job sweep for the fleet artifact: 2 mediators × 2
+/// frequencies × 2 link counts.
+fn fleet_reference_spec() -> SweepSpec {
+    SweepSpec::new()
+        .mediators(&[Mediator::PelsSequenced, Mediator::PelsInstant])
+        .freqs_mhz(&[27.0, 55.0])
+        .links(&[1, 4])
+}
+
+fn run_fleet_artifact() -> Result<String, String> {
+    let spec = fleet_reference_spec();
+    let serial = FleetEngine::new(1)
+        .run_sweep(&spec)
+        .map_err(|e| format!("fleet sweep invalid: {e}"))?;
+    let parallel = FleetEngine::auto()
+        .run_sweep(&spec)
+        .map_err(|e| format!("fleet sweep invalid: {e}"))?;
+    if serial.digest() != parallel.digest() {
+        return Err(format!(
+            "fleet determinism violated: 1-worker digest {:016x} != {}-worker digest {:016x}",
+            serial.digest(),
+            parallel.workers,
+            parallel.digest()
+        ));
+    }
+    let host = pels_fleet::engine::host_parallelism();
+    let json = fleet_report::to_json(&parallel, host);
+    std::fs::write("BENCH_fleet_throughput.json", &json)
+        .map_err(|e| format!("writing BENCH_fleet_throughput.json: {e}"))?;
+    Ok(format!(
+        "Fleet - parallel scenario sweep (8-job reference batch)\n{}\n\
+         digest {:016x} identical on 1 and {} worker(s) (host parallelism: {host})\n\
+         serial wall {:.1} ms -> parallel wall {:.1} ms\n\
+         (wrote BENCH_fleet_throughput.json)\n",
+        parallel.render(),
+        parallel.digest(),
+        parallel.workers,
+        serial.wall.as_secs_f64() * 1e3,
+        parallel.wall.as_secs_f64() * 1e3,
+    ))
+}
 
 fn run_one(artifact: &str) -> Result<(), String> {
     let text = match artifact {
@@ -48,6 +95,7 @@ fn run_one(artifact: &str) -> Result<(), String> {
                 .map_err(|e| format!("writing BENCH_sim_throughput.json: {e}"))?;
             format!("{}(wrote BENCH_sim_throughput.json)\n", throughput::render(&rows))
         }
+        "fleet" => run_fleet_artifact()?,
         other => return Err(format!("unknown artifact `{other}` (expected one of {ALL:?})")),
     };
     println!("================================================================");

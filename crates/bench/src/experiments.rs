@@ -1,6 +1,7 @@
 //! The measured experiments: Figure 3, Figure 5, the latency comparison,
 //! Figure 6a and Figure 6b.
 
+use pels_fleet::{FleetEngine, JobError, JobOutcome};
 use pels_power::{pels_area_kge, pulpissimo_breakdown, IBEX_KGE, PICORV32_KGE};
 use pels_soc::power_setup::power_model_for;
 use pels_soc::{Mediator, Scenario, SocBuilder};
@@ -120,51 +121,63 @@ pub struct Fig5Result {
     pub iso_frequency_memory_ratio: f64,
 }
 
-/// Runs the four scenario instances behind Figure 5 and assembles the
-/// bars and ratios.
+/// Runs the four scenario instances behind Figure 5 — as one fleet batch
+/// (the runs are independent, so they parallelize across the worker
+/// pool) — and assembles the bars and ratios from the job outcomes.
 pub fn fig5() -> Fig5Result {
+    let jobs = vec![
+        (
+            "iso-latency/pels".to_string(),
+            Scenario::iso_latency(Mediator::PelsSequenced),
+        ),
+        (
+            "iso-latency/ibex".to_string(),
+            Scenario::iso_latency(Mediator::IbexIrq),
+        ),
+        (
+            "iso-frequency/pels".to_string(),
+            Scenario::iso_frequency(Mediator::PelsSequenced),
+        ),
+        (
+            "iso-frequency/ibex".to_string(),
+            Scenario::iso_frequency(Mediator::IbexIrq),
+        ),
+    ];
+    let fleet = FleetEngine::auto().run_scenarios(&jobs);
+    let get = |label: &str| -> &JobOutcome {
+        fleet
+            .outcome(label)
+            .unwrap_or_else(|| panic!("fig5 job `{label}` failed"))
+    };
+
     let mut bars = Vec::new();
-    let mut run_pair = |label: &'static str, pels_s: Scenario, ibex_s: Scenario| {
-        let pr = pels_s.run();
-        let ir = ibex_s.run();
-        let pm = pr.power_model();
-        let im = ir.power_model();
-        let pa = pr.active_power(&pm);
-        let pi = pr.idle_power(&pm);
-        let ia = ir.active_power(&im);
-        let ii = ir.idle_power(&im);
-        for (system, report, mode, freq) in [
-            ("pels", &pi, "idle", pr.freq),
-            ("pels", &pa, "active", pr.freq),
-            ("ibex", &ii, "idle", ir.freq),
-            ("ibex", &ia, "active", ir.freq),
+    let mut pair = |label: &'static str| {
+        let p = get(&format!("{label}/pels"));
+        let i = get(&format!("{label}/ibex"));
+        for (system, o, mode, power_uw, memory_uw) in [
+            ("pels", p, "idle", p.idle_uw, p.idle_memory_uw),
+            ("pels", p, "active", p.active_uw, p.active_memory_uw),
+            ("ibex", i, "idle", i.idle_uw, i.idle_memory_uw),
+            ("ibex", i, "active", i.active_uw, i.active_memory_uw),
         ] {
             bars.push(Fig5Bar {
                 scenario: label,
                 system,
                 mode,
-                power_uw: report.total().as_uw(),
-                memory_uw: report.memory_system().as_uw(),
-                freq_mhz: freq.as_mhz(),
+                power_uw,
+                memory_uw,
+                freq_mhz: o.report.freq.as_mhz(),
             });
         }
         (
-            ia.total() / pa.total(),
-            ii.total() / pi.total(),
-            ia.memory_system().as_uw() / pa.memory_system().as_uw(),
+            i.active_uw / p.active_uw,
+            i.idle_uw / p.idle_uw,
+            i.active_memory_uw / p.active_memory_uw,
         )
     };
 
-    let (lat_active, lat_idle, lat_mem) = run_pair(
-        "iso-latency",
-        Scenario::iso_latency(Mediator::PelsSequenced),
-        Scenario::iso_latency(Mediator::IbexIrq),
-    );
-    let (freq_active, _freq_idle, freq_mem) = run_pair(
-        "iso-frequency",
-        Scenario::iso_frequency(Mediator::PelsSequenced),
-        Scenario::iso_frequency(Mediator::IbexIrq),
-    );
+    let (lat_active, lat_idle, lat_mem) = pair("iso-latency");
+    let (freq_active, _freq_idle, freq_mem) = pair("iso-frequency");
 
     Fig5Result {
         bars,
@@ -234,20 +247,28 @@ pub struct LatencyRow {
     pub paper: u64,
 }
 
-/// Measures the 2 / 7 / 16-cycle comparison.
+/// Measures the 2 / 7 / 16-cycle comparison (the three probes run as one
+/// fleet batch).
 pub fn latency_table() -> Vec<LatencyRow> {
     let rows = [
         ("instant action", Mediator::PelsInstant, 2),
         ("sequenced action", Mediator::PelsSequenced, 7),
         ("ibex interrupt", Mediator::IbexIrq, 16),
     ];
+    let jobs: Vec<(String, Scenario)> = rows
+        .iter()
+        .map(|&(path, mediator, _)| (path.to_string(), Scenario::latency_probe(mediator)))
+        .collect();
+    let fleet = FleetEngine::auto().run_scenarios(&jobs);
     rows.into_iter()
-        .map(|(path, mediator, paper)| {
-            let report = Scenario::latency_probe(mediator).run();
+        .map(|(path, _, paper)| {
+            let o = fleet
+                .outcome(path)
+                .unwrap_or_else(|| panic!("latency probe `{path}` failed"));
             LatencyRow {
                 path,
-                measured: report.stats.min,
-                jitter: report.stats.jitter(),
+                measured: o.report.stats.min,
+                jitter: o.report.stats.jitter(),
                 paper,
             }
         })
@@ -379,24 +400,33 @@ pub struct LinkPowerPoint {
 /// the area knob to the energy budget. Links are cheap in area but their
 /// always-on clock load is what a system integrator actually pays.
 pub fn extension_link_power() -> Vec<LinkPowerPoint> {
-    (1..=8)
-        .map(|links| {
-            let mut soc = SocBuilder::new().pels_links(links).scm_lines(6).build();
-            soc.load_program(
-                pels_soc::mem_map::RESET_PC,
-                &[pels_cpu::asm::wfi(), pels_cpu::asm::jal(0, -4)],
-            );
-            soc.run(2_000);
-            let window = soc.window_time();
-            let activity = soc.drain_activity();
-            let model = power_model_for(soc.pels().config());
-            let idle_uw = model.report(&activity, window).total().as_uw();
-            LinkPowerPoint {
-                links,
-                idle_uw,
-                kge: pels_area_kge(links, 6),
-            }
-        })
+    let link_counts: Vec<usize> = (1..=8).collect();
+    // Raw-`Soc` jobs (no `Scenario` layer), fanned out through the
+    // engine's generic map: one fresh SoC per worker job.
+    FleetEngine::auto()
+        .map(
+            &link_counts,
+            |&links| links as u64, // heavier SoCs first
+            |&links| {
+                let mut soc = SocBuilder::new().pels_links(links).scm_lines(6).build();
+                soc.load_program(
+                    pels_soc::mem_map::RESET_PC,
+                    &[pels_cpu::asm::wfi(), pels_cpu::asm::jal(0, -4)],
+                );
+                soc.run(2_000);
+                let window = soc.window_time();
+                let activity = soc.drain_activity();
+                let model = power_model_for(soc.pels().config());
+                let idle_uw = model.report(&activity, window).total().as_uw();
+                Ok::<_, JobError>(LinkPowerPoint {
+                    links,
+                    idle_uw,
+                    kge: pels_area_kge(links, 6),
+                })
+            },
+        )
+        .into_iter()
+        .map(|r| r.result.expect("idle-power jobs are infallible"))
         .collect()
 }
 

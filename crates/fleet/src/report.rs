@@ -1,0 +1,359 @@
+//! Fleet results: per-job outcomes, input-order-stable reports, and the
+//! digest that proves scheduling never leaks into the data.
+
+use pels_soc::{Mediator, Scenario, ScenarioError, ScenarioReport};
+use std::fmt;
+use std::time::Duration;
+
+/// Why one job of a fleet produced no outcome. Failures are *per job*:
+/// one bad sweep point never poisons its siblings.
+#[derive(Debug, Clone)]
+pub enum JobError {
+    /// The scenario ran but produced no measurement (or could not be
+    /// configured).
+    Scenario(ScenarioError),
+    /// The job panicked; the engine caught it at the worker boundary.
+    Panicked(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Scenario(e) => write!(f, "{e}"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Scenario(e) => Some(e),
+            JobError::Panicked(_) => None,
+        }
+    }
+}
+
+impl From<ScenarioError> for JobError {
+    fn from(e: ScenarioError) -> Self {
+        JobError::Scenario(e)
+    }
+}
+
+/// The measured outcome of one scenario job, with its power summary
+/// derived *inside the job* (on the worker) so the report is complete
+/// without re-running any model on the reducer side.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// The full measurement (latencies, activity, trace).
+    pub report: ScenarioReport,
+    /// Total SoC power over the active window (µW).
+    pub active_uw: f64,
+    /// Total SoC power over the matching idle window (µW).
+    pub idle_uw: f64,
+    /// Memory-system share of the active window (µW).
+    pub active_memory_uw: f64,
+    /// Memory-system share of the idle window (µW).
+    pub idle_memory_uw: f64,
+}
+
+impl JobOutcome {
+    /// Runs `scenario` and derives the power summary — the standard job
+    /// body for scenario fleets.
+    pub fn measure(scenario: &Scenario) -> Result<JobOutcome, ScenarioError> {
+        let report = scenario.try_run()?;
+        let model = report.power_model();
+        let active = report.active_power(&model);
+        let idle = report.idle_power(&model);
+        Ok(JobOutcome {
+            scenario: scenario.clone(),
+            active_uw: active.total().as_uw(),
+            idle_uw: idle.total().as_uw(),
+            active_memory_uw: active.memory_system().as_uw(),
+            idle_memory_uw: idle.memory_system().as_uw(),
+            report,
+        })
+    }
+}
+
+/// One slot of a [`FleetReport`]: the job's label, how long it ran on its
+/// worker, and what came out.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// Caller-supplied label (stable across runs; used in rendering and
+    /// the digest).
+    pub label: String,
+    /// Wall-clock time the job spent on its worker.
+    pub elapsed: Duration,
+    /// The outcome, or this job's own failure.
+    pub result: Result<JobOutcome, JobError>,
+}
+
+/// The reduction of one fleet run: jobs **in input order** (never in
+/// completion order), plus batch-level timing.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Per-job results, input-order-stable.
+    pub jobs: Vec<FleetJob>,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// Jobs that produced an outcome.
+    pub fn succeeded(&self) -> impl Iterator<Item = (&str, &JobOutcome)> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.result.as_ref().ok().map(|o| (j.label.as_str(), o)))
+    }
+
+    /// Jobs that failed, with their errors.
+    pub fn failed(&self) -> impl Iterator<Item = (&str, &JobError)> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.result.as_ref().err().map(|e| (j.label.as_str(), e)))
+    }
+
+    /// The outcome for `label`, if that job succeeded.
+    pub fn outcome(&self, label: &str) -> Option<&JobOutcome> {
+        self.succeeded().find(|(l, _)| *l == label).map(|(_, o)| o)
+    }
+
+    /// Sum of per-job worker time — the serial cost of the batch. The
+    /// ratio against [`FleetReport::wall`] is the realized parallel
+    /// speedup.
+    pub fn busy(&self) -> Duration {
+        self.jobs.iter().map(|j| j.elapsed).sum()
+    }
+
+    /// Realized speedup: total worker-busy time over batch wall time.
+    /// ~1.0 on a single worker (or a single-core host); approaches the
+    /// worker count when the longest-first schedule packs well.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            return 1.0;
+        }
+        self.busy().as_secs_f64() / wall
+    }
+
+    /// FNV-1a digest over every *simulation-derived* field of every job,
+    /// in input order: labels, scenario axes, latencies, event counts and
+    /// power totals (as exact `f64` bit patterns). Timing fields are
+    /// excluded — they are host noise. Two runs of the same job list are
+    /// bit-identical exactly when their digests match, whatever the
+    /// worker count.
+    pub fn digest(&self) -> u64 {
+        let mut d = Fnv::new();
+        d.bytes(&(self.jobs.len() as u64).to_le_bytes());
+        for job in &self.jobs {
+            d.bytes(job.label.as_bytes());
+            match &job.result {
+                Ok(o) => {
+                    d.u64(1);
+                    d.u64(mediator_tag(o.scenario.mediator));
+                    d.u64(o.scenario.freq.period_ps());
+                    d.u64(u64::from(o.scenario.events));
+                    d.u64(u64::from(o.report.events_completed));
+                    d.u64(o.report.latencies.len() as u64);
+                    for &l in &o.report.latencies {
+                        d.u64(l);
+                    }
+                    d.u64(o.report.stats.min);
+                    d.u64(o.report.stats.max);
+                    d.u64(o.report.stats.mean);
+                    d.u64(o.report.active_window.as_ps());
+                    d.u64(o.report.idle_window.as_ps());
+                    d.u64(o.active_uw.to_bits());
+                    d.u64(o.idle_uw.to_bits());
+                    d.u64(o.active_memory_uw.to_bits());
+                    d.u64(o.idle_memory_uw.to_bits());
+                }
+                Err(e) => {
+                    d.u64(0);
+                    d.bytes(e.to_string().as_bytes());
+                }
+            }
+        }
+        d.finish()
+    }
+
+    /// Renders the batch as a text table (label, status, latency, power,
+    /// per-job time).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} jobs on {} worker(s), wall {:.1} ms, busy {:.1} ms, speedup {:.2}x",
+            self.jobs.len(),
+            self.workers,
+            self.wall.as_secs_f64() * 1e3,
+            self.busy().as_secs_f64() * 1e3,
+            self.speedup(),
+        );
+        let _ = writeln!(
+            out,
+            "  {:<38} {:>9} {:>11} {:>11} {:>9}",
+            "job", "lat [cyc]", "active [uW]", "idle [uW]", "t [ms]"
+        );
+        for job in &self.jobs {
+            match &job.result {
+                Ok(o) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<38} {:>9} {:>11.1} {:>11.1} {:>9.2}",
+                        job.label,
+                        o.report.stats.mean,
+                        o.active_uw,
+                        o.idle_uw,
+                        job.elapsed.as_secs_f64() * 1e3,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  {:<38} FAILED: {e}", job.label);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Stable tag for the digest (enum discriminants are not guaranteed
+/// stable across refactors; this mapping is part of the digest contract).
+fn mediator_tag(m: Mediator) -> u64 {
+    match m {
+        Mediator::PelsSequenced => 1,
+        Mediator::PelsInstant => 2,
+        Mediator::IbexIrq => 3,
+    }
+}
+
+/// Minimal FNV-1a 64-bit accumulator (no external hashing deps in the
+/// offline graph).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Serializes the batch as the `BENCH_fleet_throughput.json` artifact
+/// (flat object, no serde in the offline graph).
+pub fn to_json(report: &FleetReport, host_parallelism: usize) -> String {
+    let failed = report.failed().count();
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"jobs\": {},\n", report.jobs.len()));
+    s.push_str(&format!("  \"failed\": {failed},\n"));
+    s.push_str(&format!("  \"workers\": {},\n", report.workers));
+    s.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
+    s.push_str(&format!(
+        "  \"wall_ms\": {:.3},\n",
+        report.wall.as_secs_f64() * 1e3
+    ));
+    s.push_str(&format!(
+        "  \"busy_ms\": {:.3},\n",
+        report.busy().as_secs_f64() * 1e3
+    ));
+    s.push_str(&format!("  \"speedup\": {:.3},\n", report.speedup()));
+    s.push_str(&format!(
+        "  \"jobs_per_sec\": {:.3},\n",
+        report.jobs.len() as f64 / report.wall.as_secs_f64().max(1e-9)
+    ));
+    s.push_str(&format!("  \"digest\": \"{:016x}\"\n", report.digest()));
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pels_soc::Scenario;
+
+    fn tiny_report() -> FleetReport {
+        let s = Scenario::builder().events(2).build().unwrap();
+        let outcome = JobOutcome::measure(&s).unwrap();
+        FleetReport {
+            workers: 1,
+            jobs: vec![
+                FleetJob {
+                    label: "ok".into(),
+                    elapsed: Duration::from_millis(3),
+                    result: Ok(outcome),
+                },
+                FleetJob {
+                    label: "bad".into(),
+                    elapsed: Duration::from_millis(1),
+                    result: Err(JobError::Scenario(ScenarioError::ZeroEvents)),
+                },
+            ],
+            wall: Duration::from_millis(4),
+        }
+    }
+
+    #[test]
+    fn digest_ignores_timing_but_not_data() {
+        let a = tiny_report();
+        let mut b = a.clone();
+        b.wall = Duration::from_secs(7);
+        b.jobs[0].elapsed = Duration::from_secs(1);
+        b.workers = 16;
+        assert_eq!(a.digest(), b.digest(), "timing and worker count are noise");
+
+        let mut c = a.clone();
+        if let Ok(o) = &mut c.jobs[0].result {
+            o.active_uw += 1e-9;
+        }
+        assert_ne!(a.digest(), c.digest(), "any data change must show");
+    }
+
+    #[test]
+    fn accessors_partition_jobs() {
+        let r = tiny_report();
+        assert_eq!(r.succeeded().count(), 1);
+        assert_eq!(r.failed().count(), 1);
+        assert!(r.outcome("ok").is_some());
+        assert!(r.outcome("bad").is_none());
+        assert_eq!(r.busy(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let j = to_json(&tiny_report(), 4);
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"jobs\": 2"));
+        assert!(j.contains("\"failed\": 1"));
+        assert!(j.contains("\"host_parallelism\": 4"));
+        assert!(j.contains("\"digest\": \""));
+        assert!(!j.contains(",\n}"));
+    }
+
+    #[test]
+    fn render_reports_failures_inline() {
+        let r = tiny_report();
+        let text = r.render();
+        assert!(text.contains("FAILED"));
+        assert!(text.contains("ok"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names the axes to sweep; [`SweepSpec::jobs`] expands
+//! the cartesian product into labelled, builder-validated
+//! [`Scenario`] jobs ready for
+//! [`FleetEngine::run_scenarios`](crate::FleetEngine::run_scenarios).
+
+use pels_interconnect::{ArbiterKind, Topology};
+use pels_sim::Frequency;
+use pels_soc::{Mediator, Scenario, ScenarioError};
+
+/// A cartesian product of sweep axes over the base evaluation workload.
+///
+/// Every axis defaults to a single paper operating point, so the empty
+/// spec expands to exactly one job; each setter widens one axis.
+///
+/// ```
+/// use pels_fleet::SweepSpec;
+/// use pels_soc::Mediator;
+/// let spec = SweepSpec::new()
+///     .mediators(&[Mediator::PelsSequenced, Mediator::IbexIrq])
+///     .freqs_mhz(&[27.0, 55.0])
+///     .links(&[1, 4]);
+/// assert_eq!(spec.jobs().unwrap().len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    mediators: Vec<Mediator>,
+    freqs_mhz: Vec<f64>,
+    links: Vec<usize>,
+    topologies: Vec<Topology>,
+    arbiters: Vec<ArbiterKind>,
+    events: u32,
+    rmw_only: bool,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            mediators: vec![Mediator::PelsSequenced],
+            freqs_mhz: vec![55.0],
+            links: vec![1],
+            topologies: vec![Topology::Shared],
+            arbiters: vec![ArbiterKind::RoundRobin],
+            events: 20,
+            rmw_only: false,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// A single-point spec at the paper's iso-frequency operating point.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sweeps the mediation path.
+    pub fn mediators(mut self, mediators: &[Mediator]) -> Self {
+        self.mediators = mediators.to_vec();
+        self
+    }
+
+    /// Sweeps the system clock (MHz).
+    pub fn freqs_mhz(mut self, freqs: &[f64]) -> Self {
+        self.freqs_mhz = freqs.to_vec();
+        self
+    }
+
+    /// Sweeps the instantiated PELS link count.
+    pub fn links(mut self, links: &[usize]) -> Self {
+        self.links = links.to_vec();
+        self
+    }
+
+    /// Sweeps the fabric topology.
+    pub fn topologies(mut self, topologies: &[Topology]) -> Self {
+        self.topologies = topologies.to_vec();
+        self
+    }
+
+    /// Sweeps the arbitration policy.
+    pub fn arbiters(mut self, arbiters: &[ArbiterKind]) -> Self {
+        self.arbiters = arbiters.to_vec();
+        self
+    }
+
+    /// Linking events each job measures.
+    pub fn events(mut self, events: u32) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// `true` → every job runs the minimal single-action program.
+    pub fn rmw_only(mut self, rmw_only: bool) -> Self {
+        self.rmw_only = rmw_only;
+        self
+    }
+
+    /// Expands the cartesian product into labelled scenarios, in a fixed
+    /// deterministic order (mediator-major, arbiter-minor). Labels encode
+    /// every axis value, so they are unique within the sweep.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ScenarioError`] if an axis value fails builder
+    /// validation (e.g. `links` containing 0); no partial job list is
+    /// returned.
+    pub fn jobs(&self) -> Result<Vec<(String, Scenario)>, ScenarioError> {
+        let mut jobs = Vec::new();
+        for &mediator in &self.mediators {
+            for &mhz in &self.freqs_mhz {
+                for &links in &self.links {
+                    for &topology in &self.topologies {
+                        for &arbiter in &self.arbiters {
+                            let scenario = Scenario::builder()
+                                .mediator(mediator)
+                                .frequency(Frequency::from_mhz(mhz))
+                                .pels_links(links)
+                                .topology(topology)
+                                .arbiter(arbiter)
+                                .events(self.events)
+                                .rmw_only(self.rmw_only)
+                                .build()?;
+                            let label = format!(
+                                "{mediator}@{mhz:.0}MHz links{links} {topology} {arbiter}"
+                            );
+                            jobs.push((label, scenario));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_one_job() {
+        let jobs = SweepSpec::new().jobs().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].1.mediator, Mediator::PelsSequenced);
+    }
+
+    #[test]
+    fn product_order_is_deterministic_and_labels_unique() {
+        let spec = SweepSpec::new()
+            .mediators(&[Mediator::PelsSequenced, Mediator::PelsInstant])
+            .links(&[1, 2, 4]);
+        let a = spec.jobs().unwrap();
+        let b = spec.jobs().unwrap();
+        assert_eq!(a.len(), 6);
+        let labels_a: Vec<&str> = a.iter().map(|(l, _)| l.as_str()).collect();
+        let labels_b: Vec<&str> = b.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels_a, labels_b);
+        let mut dedup = labels_a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels_a.len(), "labels are unique");
+    }
+
+    #[test]
+    fn invalid_axis_value_rejects_the_whole_spec() {
+        let spec = SweepSpec::new().links(&[1, 0]);
+        assert!(spec.jobs().is_err());
+    }
+}

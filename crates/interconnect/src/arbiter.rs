@@ -9,7 +9,10 @@
 use std::fmt;
 
 /// Chooses one requester among a set each cycle.
-pub trait Arbiter: fmt::Debug {
+///
+/// `Send` is a supertrait so fabrics (which box their arbiters) can move
+/// across worker threads in batch sweeps.
+pub trait Arbiter: fmt::Debug + Send {
     /// Grants one of the requesting indices (`requests[i] == true`), or
     /// `None` if nobody requests.
     fn grant(&mut self, requests: &[bool]) -> Option<usize>;

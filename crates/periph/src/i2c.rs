@@ -17,7 +17,10 @@ use pels_sim::{ActivityKind, ComponentId, EventVector, Fifo, SimTime};
 use std::fmt;
 
 /// A device on the I2C bus.
-pub trait I2cDevice {
+///
+/// `Send` is a supertrait: I2C masters (and the SoCs that own them) cross
+/// thread boundaries in batch sweeps.
+pub trait I2cDevice: Send {
     /// The device's 7-bit address.
     fn address(&self) -> u8;
 

@@ -16,7 +16,11 @@ use std::fmt;
 ///
 /// `sample` takes `&mut self` because noisy sources advance an internal
 /// RNG; deterministic sources simply ignore the mutability.
-pub trait AnalogSource {
+///
+/// `Send` is a supertrait so that a [`Quantizer`] — and every peripheral
+/// and SoC holding one — can migrate across threads; the fleet engine in
+/// `pels-fleet` runs whole scenarios on worker threads.
+pub trait AnalogSource: Send {
     /// The instantaneous value at `time`.
     fn sample(&mut self, time: SimTime) -> f64;
 }

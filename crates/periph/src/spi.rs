@@ -15,7 +15,10 @@ use pels_sim::{ActivityKind, ComponentId, EventVector, Fifo, SimTime};
 use std::fmt;
 
 /// The device on the other end of the SPI bus.
-pub trait SpiDevice {
+///
+/// `Send` is a supertrait: SPI masters (and the SoCs that own them) cross
+/// thread boundaries in batch sweeps.
+pub trait SpiDevice: Send {
     /// Full-duplex word exchange at simulation time `time`.
     fn transfer(&mut self, mosi: u32, time: SimTime) -> u32;
 }

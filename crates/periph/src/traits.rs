@@ -84,7 +84,12 @@ pub enum IdleHint {
 /// Implementors are APB slaves (the *sequenced action* interface) and are
 /// ticked once per cycle (the *instant action* interface plus any internal
 /// behaviour: counters, shift registers, µDMA engines, ...).
-pub trait Peripheral: ApbSlave {
+///
+/// `Send` is a supertrait: SoCs hold peripherals as `Box<dyn Peripheral>`
+/// and must migrate whole to fleet worker threads. All state a peripheral
+/// owns (registers, FIFOs, µDMA engines, seeded RNGs) is plain data, so
+/// the bound costs implementors nothing.
+pub trait Peripheral: ApbSlave + Send {
     /// Stable instance name used in traces and activity reports.
     fn name(&self) -> &str {
         self.component().name()

@@ -198,7 +198,7 @@ impl ActivitySet {
     fn present(&self) -> Vec<ComponentId> {
         let mut ids: Vec<ComponentId> = (0..self.counts.len())
             .filter(|&i| self.counts[i] != ZERO_ROW)
-            .map(|i| ComponentId::from_index(i))
+            .map(ComponentId::from_index)
             .collect();
         ids.sort_by_key(|id| id.name());
         ids

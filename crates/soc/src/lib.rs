@@ -41,5 +41,7 @@ pub mod power_setup;
 pub mod scenario;
 pub mod soc;
 
-pub use scenario::{LinkingStats, Mediator, Scenario, ScenarioReport};
-pub use soc::{SensorKind, Soc, SocBuilder};
+pub use scenario::{
+    LinkingStats, Mediator, Scenario, ScenarioBuilder, ScenarioError, ScenarioReport,
+};
+pub use soc::{ConfigError, SensorKind, Soc, SocBuilder};

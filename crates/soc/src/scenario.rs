@@ -19,13 +19,82 @@ use crate::baseline;
 use crate::event_map::*;
 use crate::mem_map::*;
 use crate::power_setup;
-use crate::soc::{SensorKind, Soc, SocBuilder};
+use crate::soc::{ConfigError, SensorKind, Soc, SocBuilder};
 use pels_core::{ActionMode, Command, Cond, PelsConfig, Program, TriggerCond};
-use pels_interconnect::ApbSlave;
+use pels_interconnect::{ApbSlave, ArbiterKind, Topology};
 use pels_periph::{Spi, Timer};
 use pels_power::{PowerModel, PowerReport};
 use pels_sim::{ActivitySet, EventVector, Frequency, SimTime, Trace};
 use std::fmt;
+
+/// Why a [`Scenario`] could not be built — or, at run time, why it
+/// produced no measurement.
+///
+/// Returned by [`ScenarioBuilder::build`] (construction-time validation)
+/// and [`Scenario::try_run`] (runtime failure). A sweep engine maps each
+/// variant to a per-job failure instead of a harness panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// `events == 0`: there is nothing to measure.
+    ZeroEvents,
+    /// `spi_words == 0`: the readout would transfer nothing, so the
+    /// end-of-transfer event driving the whole chain never fires.
+    ZeroSpiWords,
+    /// `sample_period` was zero: the timer would need a period of zero
+    /// cycles.
+    ZeroSamplePeriod,
+    /// The interrupt baseline (`Mediator::IbexIrq`) with `use_udma ==
+    /// false`: the handler image re-arms the µDMA channel and reads the
+    /// landed sample, so the combination cannot execute coherently.
+    IrqNeedsUdma,
+    /// The SoC configuration itself was invalid (zero links / SCM lines /
+    /// clkdiv).
+    Config(ConfigError),
+    /// The run completed no linking event inside its cycle budget — a
+    /// mis-targeted threshold, a mis-wired link, or a budget too small.
+    NoEvents {
+        /// The mediator that failed to produce an event.
+        mediator: Mediator,
+        /// The cycle budget that elapsed without a completion.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::ZeroEvents => f.write_str("events must be at least 1"),
+            ScenarioError::ZeroSpiWords => f.write_str("spi_words must be at least 1"),
+            ScenarioError::ZeroSamplePeriod => {
+                f.write_str("sample_period must be non-zero")
+            }
+            ScenarioError::IrqNeedsUdma => {
+                f.write_str("the ibex-irq baseline requires use_udma (its handler reads the sample from L2)")
+            }
+            ScenarioError::Config(e) => write!(f, "invalid SoC configuration: {e}"),
+            ScenarioError::NoEvents { mediator, budget } => write!(
+                f,
+                "no linking event completed for {mediator} within {budget} cycles"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ScenarioError {
+    fn from(e: ConfigError) -> Self {
+        ScenarioError::Config(e)
+    }
+}
 
 /// Who mediates the linking event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,19 +132,17 @@ pub struct LinkingStats {
 }
 
 impl LinkingStats {
-    /// Computes stats from raw per-event cycle latencies.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty sample.
-    pub fn from_cycles(latencies: &[u64]) -> Self {
-        assert!(!latencies.is_empty(), "no linking events measured");
-        LinkingStats {
+    /// Computes stats from raw per-event cycle latencies; `None` on an
+    /// empty sample (a run that completed no events has no statistics —
+    /// the caller decides whether that is a per-job failure or a bug).
+    pub fn from_cycles(latencies: &[u64]) -> Option<Self> {
+        let (&min, &max) = (latencies.iter().min()?, latencies.iter().max()?);
+        Some(LinkingStats {
             count: latencies.len(),
-            min: *latencies.iter().min().expect("non-empty"),
-            max: *latencies.iter().max().expect("non-empty"),
+            min,
+            max,
             mean: latencies.iter().sum::<u64>() / latencies.len() as u64,
-        }
+        })
     }
 
     /// Max − min: the jitter the paper argues instant actions eliminate.
@@ -85,6 +152,14 @@ impl LinkingStats {
 }
 
 /// One evaluation run description.
+///
+/// The canonical way to obtain one is [`Scenario::builder`] (or the
+/// preset shorthands [`Scenario::iso_latency`] /
+/// [`Scenario::iso_frequency`] / [`Scenario::latency_probe`], which wrap
+/// it): the builder validates the configuration, so a `Scenario` in hand
+/// is always runnable. The fields stay public for *reading* — reports
+/// and sweeps inspect them freely — but mutating them bypasses
+/// validation; route changes through the builder instead.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Who mediates.
@@ -114,25 +189,203 @@ pub struct Scenario {
     pub rmw_only: bool,
     /// Land readout data in L2 through the SPI µDMA channel.
     pub use_udma: bool,
+    /// Fabric topology (shared APB vs per-slave crossbar) — a sweep axis
+    /// of Section III-1.
+    pub topology: Topology,
+    /// Arbitration policy (round-robin vs fixed-priority).
+    pub arbiter: ArbiterKind,
+}
+
+/// Chained, validating constructor for [`Scenario`] — the canonical
+/// construction path.
+///
+/// Starts from the paper's common base workload (2.5 V sensor vs 1.6 V
+/// threshold, 1 µs sample period, 2-word DMA readouts, 20 events) and
+/// lets each knob be overridden; [`ScenarioBuilder::build`] rejects
+/// configurations that could never measure anything.
+///
+/// ```
+/// use pels_soc::{Mediator, Scenario};
+/// let s = Scenario::builder()
+///     .mediator(Mediator::PelsInstant)
+///     .events(8)
+///     .pels_links(2)
+///     .build()
+///     .expect("valid scenario");
+/// assert_eq!(s.events, 8);
+/// assert!(Scenario::builder().events(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    draft: Scenario,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            draft: Scenario {
+                mediator: Mediator::PelsSequenced,
+                freq: Frequency::from_mhz(55.0),
+                threshold_level: 1.6,
+                sensor: SensorKind::Constant(2.5),
+                sample_period: SimTime::from_ns(1000),
+                spi_words: 2,
+                spi_clkdiv: 4,
+                events: 20,
+                pels: PelsConfig::default(),
+                rmw_only: false,
+                use_udma: true,
+                topology: Topology::Shared,
+                arbiter: ArbiterKind::RoundRobin,
+            },
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Starts from the common base workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets who mediates the linking event.
+    pub fn mediator(mut self, mediator: Mediator) -> Self {
+        self.draft.mediator = mediator;
+        self
+    }
+
+    /// Sets the system clock.
+    pub fn frequency(mut self, freq: Frequency) -> Self {
+        self.draft.freq = freq;
+        self
+    }
+
+    /// Sets the analog threshold level (V).
+    pub fn threshold_level(mut self, level: f64) -> Self {
+        self.draft.threshold_level = level;
+        self
+    }
+
+    /// Selects the analog source.
+    pub fn sensor(mut self, sensor: SensorKind) -> Self {
+        self.draft.sensor = sensor;
+        self
+    }
+
+    /// Sets the wall-clock interval between sensor readouts.
+    pub fn sample_period(mut self, period: SimTime) -> Self {
+        self.draft.sample_period = period;
+        self
+    }
+
+    /// Sets the words per SPI readout.
+    pub fn spi_words(mut self, words: u32) -> Self {
+        self.draft.spi_words = words;
+        self
+    }
+
+    /// Sets the SPI cycles-per-word divider.
+    pub fn spi_clkdiv(mut self, clkdiv: u32) -> Self {
+        self.draft.spi_clkdiv = clkdiv;
+        self
+    }
+
+    /// Sets the number of linking events to measure.
+    pub fn events(mut self, events: u32) -> Self {
+        self.draft.events = events;
+        self
+    }
+
+    /// Replaces the whole PELS configuration.
+    pub fn pels(mut self, pels: PelsConfig) -> Self {
+        self.draft.pels = pels;
+        self
+    }
+
+    /// Sets the number of PELS links.
+    pub fn pels_links(mut self, links: usize) -> Self {
+        self.draft.pels.links = links;
+        self
+    }
+
+    /// Sets the SCM lines per link.
+    pub fn scm_lines(mut self, lines: usize) -> Self {
+        self.draft.pels.scm_lines = lines;
+        self
+    }
+
+    /// Sets the per-link trigger-FIFO depth.
+    pub fn fifo_depth(mut self, depth: usize) -> Self {
+        self.draft.pels.fifo_depth = depth;
+        self
+    }
+
+    /// `true` → minimal single-action program; `false` → full threshold
+    /// check.
+    pub fn rmw_only(mut self, rmw_only: bool) -> Self {
+        self.draft.rmw_only = rmw_only;
+        self
+    }
+
+    /// Whether readout data lands in L2 through the SPI µDMA channel.
+    pub fn use_udma(mut self, use_udma: bool) -> Self {
+        self.draft.use_udma = use_udma;
+        self
+    }
+
+    /// Selects the fabric topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.draft.topology = topology;
+        self
+    }
+
+    /// Selects the arbitration policy.
+    pub fn arbiter(mut self, arbiter: ArbiterKind) -> Self {
+        self.draft.arbiter = arbiter;
+        self
+    }
+
+    /// Validates and produces the scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::ZeroEvents`] / [`ScenarioError::ZeroSpiWords`] /
+    /// [`ScenarioError::ZeroSamplePeriod`] for unmeasurable workloads,
+    /// [`ScenarioError::IrqNeedsUdma`] for the interrupt baseline without
+    /// µDMA, and [`ScenarioError::Config`] for an invalid PELS/SoC
+    /// geometry.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let s = self.draft;
+        if s.events == 0 {
+            return Err(ScenarioError::ZeroEvents);
+        }
+        if s.spi_words == 0 {
+            return Err(ScenarioError::ZeroSpiWords);
+        }
+        if s.sample_period.as_ps() == 0 {
+            return Err(ScenarioError::ZeroSamplePeriod);
+        }
+        if s.mediator == Mediator::IbexIrq && !s.use_udma {
+            return Err(ScenarioError::IrqNeedsUdma);
+        }
+        if s.pels.links == 0 {
+            return Err(ConfigError::ZeroLinks.into());
+        }
+        if s.pels.scm_lines == 0 {
+            return Err(ConfigError::ZeroScmLines.into());
+        }
+        if s.spi_clkdiv == 0 {
+            return Err(ConfigError::ZeroClkdiv.into());
+        }
+        Ok(s)
+    }
 }
 
 impl Scenario {
-    /// Common base: 2.5 V sensor vs 1.6 V threshold, readout every 150
-    /// cycles, 4-word DMA transfers.
-    fn base(mediator: Mediator, freq: Frequency) -> Self {
-        Scenario {
-            mediator,
-            freq,
-            threshold_level: 1.6,
-            sensor: SensorKind::Constant(2.5),
-            sample_period: SimTime::from_ns(1000),
-            spi_words: 2,
-            spi_clkdiv: 4,
-            events: 20,
-            pels: PelsConfig::default(),
-            rmw_only: false,
-            use_udma: true,
-        }
+    /// Starts a [`ScenarioBuilder`] from the common base workload — the
+    /// canonical way to construct a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
     }
 
     /// Iso-latency operating point (paper: 500 ns budget — PELS at
@@ -142,20 +395,37 @@ impl Scenario {
             Mediator::IbexIrq => Frequency::from_mhz(55.0),
             _ => Frequency::from_mhz(27.0),
         };
-        Self::base(mediator, freq)
+        Self::builder()
+            .mediator(mediator)
+            .frequency(freq)
+            .build()
+            .expect("preset scenarios are valid by construction")
     }
 
     /// Iso-frequency operating point (both at 55 MHz).
     pub fn iso_frequency(mediator: Mediator) -> Self {
-        Self::base(mediator, Frequency::from_mhz(55.0))
+        Self::builder()
+            .mediator(mediator)
+            .build()
+            .expect("preset scenarios are valid by construction")
     }
 
     /// The latency-table variant: minimal mediation program.
     pub fn latency_probe(mediator: Mediator) -> Self {
-        let mut s = Self::iso_frequency(mediator);
-        s.rmw_only = true;
-        s.events = 10;
-        s
+        Self::builder()
+            .mediator(mediator)
+            .rmw_only(true)
+            .events(10)
+            .build()
+            .expect("preset scenarios are valid by construction")
+    }
+
+    /// A [`ScenarioBuilder`] seeded with this scenario — derive a variant
+    /// without mutating fields in place.
+    pub fn to_builder(&self) -> ScenarioBuilder {
+        ScenarioBuilder {
+            draft: self.clone(),
+        }
     }
 
     /// The sample period in cycles of this scenario's clock.
@@ -219,6 +489,8 @@ impl Scenario {
             .fifo_depth(self.pels.fifo_depth)
             .sensor(self.sensor)
             .spi_clkdiv(self.spi_clkdiv)
+            .topology(self.topology)
+            .arbiter(self.arbiter)
             .build();
 
         match self.mediator {
@@ -284,11 +556,13 @@ impl Scenario {
     /// events, plus an equal-length *idle* window (same configuration, no
     /// events) for the idle bars of Figure 5.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no linking event completes within the cycle budget —
-    /// that is a harness bug, not a measurable outcome.
-    pub fn run(&self) -> ScenarioReport {
+    /// [`ScenarioError::NoEvents`] if no linking event completes within
+    /// the cycle budget — a below-threshold sensor, a mis-wired link, or
+    /// a budget too small. A sweep engine reports this as that one job's
+    /// failure instead of aborting the batch.
+    pub fn try_run(&self) -> Result<ScenarioReport, ScenarioError> {
         // Active window.
         let mut soc = self.build_soc();
         Self::arm_timer(&mut soc, self.timer_period_cycles());
@@ -313,12 +587,10 @@ impl Scenario {
             .into_iter()
             .map(|t| t.as_ps() / self.freq.period_ps())
             .collect();
-        assert!(
-            !latencies.is_empty(),
-            "no linking events completed for {} within {budget} cycles",
-            self.mediator
-        );
-        let stats = LinkingStats::from_cycles(&latencies);
+        let stats = LinkingStats::from_cycles(&latencies).ok_or(ScenarioError::NoEvents {
+            mediator: self.mediator,
+            budget,
+        })?;
         let events_completed = soc.trace().all(marker.0, marker.1).len() as u32;
 
         // Idle window: identical configuration, timer disarmed, same
@@ -328,7 +600,7 @@ impl Scenario {
         let idle_window = idle_soc.window_time();
         let idle_activity = idle_soc.drain_activity();
 
-        ScenarioReport {
+        Ok(ScenarioReport {
             mediator: self.mediator,
             freq: self.freq,
             latencies,
@@ -340,7 +612,19 @@ impl Scenario {
             idle_window,
             pels: self.pels,
             trace: soc.trace().clone(),
-        }
+        })
+    }
+
+    /// [`Scenario::try_run`], panicking on failure — the convenient form
+    /// for presets and tests, where no events completing is a harness bug
+    /// rather than a measurable outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run produced no measurement.
+    pub fn run(&self) -> ScenarioReport {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("scenario failed: {e}"))
     }
 }
 
@@ -431,9 +715,11 @@ mod tests {
 
     #[test]
     fn below_threshold_never_actuates() {
-        let mut s = Scenario::iso_frequency(Mediator::PelsSequenced);
-        s.sensor = SensorKind::Constant(1.0); // below the 1.6 V threshold
-        s.events = 3;
+        let s = Scenario::builder()
+            .sensor(SensorKind::Constant(1.0)) // below the 1.6 V threshold
+            .events(3)
+            .build()
+            .unwrap();
         let mut soc = s.build_soc();
         Scenario::arm_timer(&mut soc, s.timer_period_cycles());
         soc.run(3_000);
@@ -465,5 +751,82 @@ mod tests {
         // 2.5 V on a 3.3 V 12-bit scale ≈ code 3102.
         let code = soc.l2().peek_word(0x4000);
         assert!(code > 3000 && code < 3200, "sample {code} landed in L2");
+    }
+
+    #[test]
+    fn builder_rejects_unmeasurable_workloads() {
+        assert_eq!(
+            Scenario::builder().events(0).build().unwrap_err(),
+            ScenarioError::ZeroEvents
+        );
+        assert_eq!(
+            Scenario::builder().spi_words(0).build().unwrap_err(),
+            ScenarioError::ZeroSpiWords
+        );
+        assert_eq!(
+            Scenario::builder()
+                .sample_period(SimTime::ZERO)
+                .build()
+                .unwrap_err(),
+            ScenarioError::ZeroSamplePeriod
+        );
+        assert_eq!(
+            Scenario::builder()
+                .mediator(Mediator::IbexIrq)
+                .use_udma(false)
+                .build()
+                .unwrap_err(),
+            ScenarioError::IrqNeedsUdma
+        );
+    }
+
+    #[test]
+    fn builder_surfaces_config_errors() {
+        assert_eq!(
+            Scenario::builder().pels_links(0).build().unwrap_err(),
+            ScenarioError::Config(ConfigError::ZeroLinks)
+        );
+        assert_eq!(
+            Scenario::builder().scm_lines(0).build().unwrap_err(),
+            ScenarioError::Config(ConfigError::ZeroScmLines)
+        );
+        assert_eq!(
+            Scenario::builder().spi_clkdiv(0).build().unwrap_err(),
+            ScenarioError::Config(ConfigError::ZeroClkdiv)
+        );
+    }
+
+    #[test]
+    fn try_run_reports_no_events_instead_of_panicking() {
+        // Sensor below threshold: readouts happen but the linking action
+        // never fires, so the run completes no events.
+        let s = Scenario::builder()
+            .sensor(SensorKind::Constant(1.0))
+            .events(3)
+            .build()
+            .unwrap();
+        match s.try_run() {
+            Err(ScenarioError::NoEvents { mediator, .. }) => {
+                assert_eq!(mediator, Mediator::PelsSequenced);
+            }
+            other => panic!("expected NoEvents, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn to_builder_round_trips_and_derives_variants() {
+        let base = Scenario::iso_latency(Mediator::PelsInstant);
+        let variant = base.to_builder().events(7).build().unwrap();
+        assert_eq!(variant.mediator, Mediator::PelsInstant);
+        assert_eq!(variant.freq, base.freq);
+        assert_eq!(variant.events, 7);
+    }
+
+    #[test]
+    fn error_display_and_source_are_useful() {
+        let e = ScenarioError::Config(ConfigError::ZeroLinks);
+        assert!(e.to_string().contains("invalid SoC configuration"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ScenarioError::ZeroEvents).is_none());
     }
 }

@@ -14,6 +14,7 @@ use pels_periph::{
     Watchdog,
 };
 use pels_sim::{ActivityKind, ActivitySet, ComponentId, EventVector, Frequency, SimTime, Trace};
+use std::fmt;
 
 /// The synthetic analog source behind the SPI/ADC front-ends.
 ///
@@ -96,7 +97,44 @@ impl SensorKind {
     }
 }
 
+/// A structurally invalid SoC configuration, caught by
+/// [`SocBuilder::try_build`] before any hardware is assembled.
+///
+/// Distinct from `pels_core::ConfigError` (a runtime register-access
+/// fault): this is a *construction-time* validation error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `PelsConfig::links` was zero — a PELS with no links can never
+    /// mediate an event.
+    ZeroLinks,
+    /// `PelsConfig::scm_lines` was zero — a link with no microcode store
+    /// cannot hold even `halt`.
+    ZeroScmLines,
+    /// The SPI clock divider was zero — the serial clock would be
+    /// division-by-zero fast.
+    ZeroClkdiv,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroLinks => f.write_str("PELS needs at least 1 link"),
+            ConfigError::ZeroScmLines => {
+                f.write_str("each PELS link needs at least 1 SCM line")
+            }
+            ConfigError::ZeroClkdiv => f.write_str("SPI clkdiv must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Builder for [`Soc`].
+///
+/// [`SocBuilder::try_build`] validates the configuration and is the
+/// canonical assembly path; [`SocBuilder::build`] is a panicking
+/// convenience wrapper over it.
 ///
 /// ```
 /// use pels_soc::{SocBuilder, SensorKind};
@@ -106,7 +144,8 @@ impl SensorKind {
 ///     .pels_links(4)
 ///     .scm_lines(6)
 ///     .sensor(SensorKind::Constant(2.0))
-///     .build();
+///     .try_build()
+///     .expect("valid configuration");
 /// assert_eq!(soc.pels().link_count(), 4);
 /// ```
 #[derive(Debug, Clone)]
@@ -198,8 +237,38 @@ impl SocBuilder {
         self
     }
 
+    /// Assembles the SoC, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the PELS geometry or the SPI divider
+    /// is structurally impossible (zero links, zero SCM lines, zero
+    /// clkdiv).
+    pub fn try_build(self) -> Result<Soc, ConfigError> {
+        if self.pels.links == 0 {
+            return Err(ConfigError::ZeroLinks);
+        }
+        if self.pels.scm_lines == 0 {
+            return Err(ConfigError::ZeroScmLines);
+        }
+        if self.spi_clkdiv == 0 {
+            return Err(ConfigError::ZeroClkdiv);
+        }
+        Ok(self.assemble())
+    }
+
     /// Assembles the SoC.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; [`SocBuilder::try_build`] is
+    /// the non-panicking canonical path.
     pub fn build(self) -> Soc {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid SoC configuration: {e}"))
+    }
+
+    fn assemble(self) -> Soc {
         // PELS loopback window: lines 40..=47 feed back for inter-link
         // triggering.
         let loopback: EventVector =

@@ -12,17 +12,20 @@ use pels_repro::soc::{Mediator, Scenario, SensorKind};
 
 fn main() {
     for mediator in [Mediator::PelsSequenced, Mediator::PelsInstant] {
-        let mut scenario = Scenario::iso_frequency(mediator);
         // A thermistor-style ramp: starts below the 1.6 V threshold and
         // crosses it at a known time; only readouts after the crossing
         // may actuate.
-        scenario.sensor = SensorKind::NoisyRamp {
-            start: 1.2,
-            slope_per_us: 0.05,
-            sigma: 0.01,
-            seed: 2024,
-        };
-        scenario.events = 8;
+        let scenario = Scenario::builder()
+            .mediator(mediator)
+            .sensor(SensorKind::NoisyRamp {
+                start: 1.2,
+                slope_per_us: 0.05,
+                sigma: 0.01,
+                seed: 2024,
+            })
+            .events(8)
+            .build()
+            .expect("valid scenario");
 
         let report = scenario.run();
         println!("== mediator: {mediator} @ {} ==", report.freq);

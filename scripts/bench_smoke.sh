@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Smoke-runs the sim_throughput bench group so performance regressions are
-# at least *executed* on every verify pass, not just compiled. Fails on
-# any panic or non-zero exit. Part of the tier-1 verify flow (ROADMAP.md).
+# Smoke-runs the sim_throughput and fleet bench groups so performance
+# regressions are at least *executed* on every verify pass, not just
+# compiled, then gates the workspace on clippy. Fails on any panic,
+# lint or non-zero exit. Part of the tier-1 verify flow (ROADMAP.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo bench -q -p pels-bench --bench sim_throughput -- --sample-size 10
 echo "bench_smoke: sim_throughput OK"
+
+# The fleet bench also asserts serial-vs-parallel digest equality.
+cargo bench -q -p pels-bench --bench fleet -- --sample-size 10
+echo "bench_smoke: fleet OK"
+
+cargo clippy --workspace --all-targets -q -- -D warnings
+echo "bench_smoke: clippy OK"

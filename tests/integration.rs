@@ -125,8 +125,11 @@ fn all_three_mediators_give_identical_functional_behaviour() {
         Mediator::PelsInstant,
         Mediator::IbexIrq,
     ] {
-        let mut s = Scenario::iso_frequency(mediator);
-        s.events = 6;
+        let s = Scenario::builder()
+            .mediator(mediator)
+            .events(6)
+            .build()
+            .expect("valid scenario");
         let report = s.run();
         counts.push(report.events_completed.min(8));
         assert!(report.events_completed >= 6, "{mediator} completed events");
@@ -178,12 +181,14 @@ fn capture_jump_if_paths_agree_with_cpu_computation() {
     // PELS's threshold decision must match what the CPU would compute on
     // the same sample: run the ramp until the crossing and compare the
     // first-actuation sample against the configured threshold.
-    let mut s = Scenario::iso_frequency(Mediator::PelsSequenced);
-    s.sensor = SensorKind::Ramp {
-        start: 1.0,
-        slope_per_us: 0.02,
-    };
-    s.events = 40;
+    let s = Scenario::builder()
+        .sensor(SensorKind::Ramp {
+            start: 1.0,
+            slope_per_us: 0.02,
+        })
+        .events(40)
+        .build()
+        .expect("valid scenario");
     let report = s.run();
     let threshold = s.threshold_code();
     // The capture trace carries the masked sample for each trigger.
@@ -211,8 +216,11 @@ fn capture_jump_if_paths_agree_with_cpu_computation() {
 fn instant_and_sequenced_flavours_toggle_the_same_pad() {
     // The two Figure 3 flavours must produce identical pad behaviour.
     let run = |mediator| {
-        let mut s = Scenario::iso_frequency(mediator);
-        s.events = 5;
+        let s = Scenario::builder()
+            .mediator(mediator)
+            .events(5)
+            .build()
+            .expect("valid scenario");
         let r = s.run();
         r.trace.all("gpio", "padout").len()
     };

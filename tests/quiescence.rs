@@ -120,7 +120,7 @@ fn fast_scheduler_is_observationally_identical_to_naive() {
     for case in 0..24 {
         let ops: Vec<Op> = (0..rng.range_u64(4, 20))
             .map(|_| match rng.index(8) {
-                0 | 1 | 2 => Op::Run(rng.range_u64(1, 120)),
+                0..=2 => Op::Run(rng.range_u64(1, 120)),
                 3 => Op::Run(rng.range_u64(200, 2_000)),
                 4 => Op::Inject([EV_TIMER_CMP, EV_GPIO_RISE, 9][rng.index(3)]),
                 5 => Op::PokeTimerCmp(rng.range_u64(1, 64) as u32),
