@@ -42,8 +42,12 @@ fn idle_soc(naive: bool) -> pels_soc::Soc {
     soc
 }
 
-fn scenario_cycles(mediator: Mediator) -> (Scenario, u64) {
-    let s = Scenario::iso_frequency(mediator);
+fn scenario_cycles(mediator: Mediator, naive: bool) -> (Scenario, u64) {
+    let s = Scenario::iso_frequency(mediator)
+        .to_builder()
+        .force_naive(naive)
+        .build()
+        .expect("preset variant stays valid");
     let r = s.run();
     let window = r.active_window.checked_add(r.idle_window).expect("window fits");
     let cycles = Frequency::from_mhz(r.freq.as_mhz()).cycles_in(window);
@@ -68,11 +72,16 @@ pub fn measure(samples: usize) -> Vec<ThroughputRow> {
         });
     }
 
-    for (name, mediator) in [
-        ("linking_workload", Mediator::PelsSequenced),
-        ("irq_baseline", Mediator::IbexIrq),
+    // Each active workload is measured on the fast path and on the
+    // forced-naive reference path, so the active-path speedup itself is
+    // a tracked number (both runs simulate bit-identical SoCs).
+    for (name, mediator, naive) in [
+        ("linking_workload", Mediator::PelsSequenced, false),
+        ("linking_workload_naive", Mediator::PelsSequenced, true),
+        ("irq_baseline", Mediator::IbexIrq, false),
+        ("irq_baseline_naive", Mediator::IbexIrq, true),
     ] {
-        let (s, cycles) = scenario_cycles(mediator);
+        let (s, cycles) = scenario_cycles(mediator, naive);
         let rate = bench.run_throughput(name, cycles, || s.run().events_completed);
         rows.push(ThroughputRow {
             name,
@@ -83,11 +92,19 @@ pub fn measure(samples: usize) -> Vec<ThroughputRow> {
     rows
 }
 
+/// The fast-over-naive speedup for workload `name` (its reference row is
+/// `<name>_naive`).
+pub fn speedup_of(rows: &[ThroughputRow], name: &str) -> Option<f64> {
+    let fast = rows.iter().find(|r| r.name == name)?;
+    let naive = rows
+        .iter()
+        .find(|r| r.name.strip_suffix("_naive") == Some(name))?;
+    Some(fast.cycles_per_sec / naive.cycles_per_sec)
+}
+
 /// The idle-path speedup (fast over naive) from a measured row set.
 pub fn idle_speedup(rows: &[ThroughputRow]) -> Option<f64> {
-    let fast = rows.iter().find(|r| r.name == "idle_soc")?;
-    let naive = rows.iter().find(|r| r.name == "idle_soc_naive")?;
-    Some(fast.cycles_per_sec / naive.cycles_per_sec)
+    speedup_of(rows, "idle_soc")
 }
 
 /// Renders the human-readable summary.
@@ -95,7 +112,7 @@ pub fn render(rows: &[ThroughputRow]) -> String {
     let mut s = String::from("sim_throughput - simulated SoC cycles per host second\n");
     for r in rows {
         s.push_str(&format!(
-            "  {:<18} {:>10}cycles/s   ({} simulated cycles/iter)\n",
+            "  {:<24} {:>10}cycles/s   ({} simulated cycles/iter)\n",
             r.name,
             fmt_rate(r.cycles_per_sec),
             r.cycles,
@@ -106,25 +123,105 @@ pub fn render(rows: &[ThroughputRow]) -> String {
             "  idle-path speedup (quiescence scheduler vs naive): {x:.1}x\n"
         ));
     }
+    if let Some(x) = speedup_of(rows, "linking_workload") {
+        s.push_str(&format!("  active-path speedup (linking workload): {x:.1}x\n"));
+    }
+    if let Some(x) = speedup_of(rows, "irq_baseline") {
+        s.push_str(&format!("  active-path speedup (irq baseline): {x:.1}x\n"));
+    }
     s
 }
 
-/// Serializes the rows as the `BENCH_sim_throughput.json` artifact (flat
-/// object so downstream diffing stays trivial; no serde in the offline
-/// graph).
-pub fn to_json(rows: &[ThroughputRow]) -> String {
-    let mut s = String::from("{\n");
-    for r in rows {
-        s.push_str(&format!(
-            "  \"{}_cycles_per_sec\": {:.1},\n",
-            r.name, r.cycles_per_sec
-        ));
+/// Version of the `BENCH_sim_throughput.json` schema, recorded in the
+/// artifact itself. Bump when a key is renamed or its meaning changes
+/// (adding keys is non-breaking: the writer merges, never drops).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Parses the flat JSON objects the `BENCH_*` artifacts use — one
+/// `"key": value` pair per entry, values numbers or strings, no nesting —
+/// into `(key, raw value text)` pairs in file order. `None` when `text`
+/// is not such an object (the caller then starts from scratch rather
+/// than guessing at a partial parse).
+fn parse_flat_object(text: &str) -> Option<Vec<(String, String)>> {
+    let mut rest = text.trim().strip_prefix('{')?.strip_suffix('}')?.trim();
+    let mut pairs = Vec::new();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let end = rest.find('"')?;
+        let key = rest[..end].to_string();
+        rest = rest[end + 1..].trim_start().strip_prefix(':')?.trim_start();
+        let value = if let Some(in_str) = rest.strip_prefix('"') {
+            let end = in_str.find('"')?;
+            rest = in_str[end + 1..].trim_start();
+            format!("\"{}\"", &in_str[..end])
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            let v = rest[..end].trim();
+            if v.is_empty() {
+                return None;
+            }
+            let v = v.to_string();
+            rest = &rest[end..];
+            v
+        };
+        pairs.push((key, value));
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => {}
+            None => return None,
+        }
     }
+    Some(pairs)
+}
+
+/// Serializes the rows into the `BENCH_sim_throughput.json` artifact,
+/// merging into `existing` (the file's previous contents, if any): keys
+/// this run doesn't produce are kept verbatim in place, keys it does are
+/// updated, new keys append. A run of a subset of workloads therefore
+/// never drops another run's fields. Flat object, hand-rolled — no serde
+/// in the offline dependency graph.
+pub fn merge_json(rows: &[ThroughputRow], existing: Option<&str>) -> String {
+    let mut updates: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            (
+                format!("{}_cycles_per_sec", r.name),
+                format!("{:.1}", r.cycles_per_sec),
+            )
+        })
+        .collect();
     if let Some(x) = idle_speedup(rows) {
-        s.push_str(&format!("  \"idle_speedup\": {x:.2},\n"));
+        updates.push(("idle_speedup".into(), format!("{x:.2}")));
     }
-    s.push_str(&format!("  \"idle_cycles_per_iter\": {IDLE_CYCLES}\n}}\n"));
+    if let Some(x) = speedup_of(rows, "linking_workload") {
+        updates.push(("linking_speedup".into(), format!("{x:.2}")));
+    }
+    if let Some(x) = speedup_of(rows, "irq_baseline") {
+        updates.push(("irq_speedup".into(), format!("{x:.2}")));
+    }
+    updates.push(("idle_cycles_per_iter".into(), IDLE_CYCLES.to_string()));
+    updates.push(("schema_version".into(), SCHEMA_VERSION.to_string()));
+
+    let mut merged = existing.and_then(parse_flat_object).unwrap_or_default();
+    for (key, value) in updates {
+        match merged.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => merged.push((key, value)),
+        }
+    }
+
+    let mut s = String::from("{\n");
+    for (i, (key, value)) in merged.iter().enumerate() {
+        let sep = if i + 1 < merged.len() { "," } else { "" };
+        s.push_str(&format!("  \"{key}\": {value}{sep}\n"));
+    }
+    s.push_str("}\n");
     s
+}
+
+/// [`merge_json`] with no prior contents — fresh serialization.
+pub fn to_json(rows: &[ThroughputRow]) -> String {
+    merge_json(rows, None)
 }
 
 #[cfg(test)]
@@ -156,6 +253,41 @@ mod tests {
     #[test]
     fn speedup_needs_both_rows() {
         assert!(idle_speedup(&[]).is_none());
+        assert!(speedup_of(&[], "linking_workload").is_none());
+    }
+
+    #[test]
+    fn merge_preserves_foreign_keys_and_updates_own() {
+        let existing = "{\n  \"someone_elses_metric\": 123.4,\n  \"idle_soc_cycles_per_sec\": 1.0,\n  \"a_string\": \"with, comma\"\n}\n";
+        let rows = vec![ThroughputRow {
+            name: "idle_soc",
+            cycles: 10,
+            cycles_per_sec: 2e6,
+        }];
+        let j = merge_json(&rows, Some(existing));
+        // Foreign keys survive verbatim, own keys are updated in place.
+        assert!(j.contains("\"someone_elses_metric\": 123.4"));
+        assert!(j.contains("\"a_string\": \"with, comma\""));
+        assert!(j.contains("\"idle_soc_cycles_per_sec\": 2000000.0"));
+        assert!(!j.contains("\"idle_soc_cycles_per_sec\": 1.0"));
+        assert!(j.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(!j.contains(",\n}"));
+        // The output round-trips through its own parser.
+        assert!(parse_flat_object(&j).is_some());
+    }
+
+    #[test]
+    fn merge_starts_fresh_on_unparseable_existing() {
+        let rows = vec![ThroughputRow {
+            name: "idle_soc",
+            cycles: 10,
+            cycles_per_sec: 2e6,
+        }];
+        for garbage in ["not json", "{ broken", "{\"k\": }"] {
+            let j = merge_json(&rows, Some(garbage));
+            assert!(j.contains("\"idle_soc_cycles_per_sec\": 2000000.0"));
+            assert!(j.ends_with("}\n"));
+        }
     }
 
     #[test]

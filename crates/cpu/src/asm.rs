@@ -338,6 +338,10 @@ pub fn csrrci(rd: u8, csr: u16, imm5: u8) -> u32 {
 pub fn fence() -> u32 {
     0x0000_000F
 }
+/// `fence.i` (Zifencei instruction-stream synchronisation).
+pub fn fence_i() -> u32 {
+    0x0000_100F
+}
 /// `ecall`.
 pub fn ecall() -> u32 {
     0x0000_0073

@@ -48,6 +48,31 @@ struct PendingLoad {
     addr: u32,
 }
 
+/// Entries in the direct-mapped decoded-instruction cache, indexed by
+/// `pc` bits `[1..]` (the pc is always halfword-aligned).
+const DECODE_CACHE_ENTRIES: usize = 512;
+
+/// One decoded-instruction cache line.
+///
+/// `raw` holds the exact instruction bits the decode came from (16-bit
+/// parcels zero-extended) and is re-verified against the freshly fetched
+/// bits on every hit, so the cache can never replay a stale decode —
+/// stores into the instruction stream are caught without any explicit
+/// invalidation traffic. `pc` doubles as the tag; an odd value can never
+/// match a real (even) pc, so it marks the line invalid.
+#[derive(Debug, Clone, Copy)]
+struct DecodedLine {
+    pc: u32,
+    raw: u32,
+    instr: Instr,
+}
+
+const INVALID_LINE: DecodedLine = DecodedLine {
+    pc: 1,
+    raw: 0,
+    instr: Instr::Fence,
+};
+
 /// The Ibex-class RV32IM core.
 ///
 /// Drive it with one [`Cpu::tick`] per clock cycle, passing the sampled
@@ -69,6 +94,13 @@ pub struct Cpu {
     /// One-word prefetch buffer (Ibex-style): consecutive 16-bit parcels
     /// of the same word cost a single memory fetch.
     fetch_buf: Option<(u32, u32)>,
+    /// Direct-mapped decoded-instruction cache. Purely a host-side
+    /// accelerator: fetch traffic, timing and architectural effects are
+    /// identical with the cache on or off (see [`Cpu::fetch_decode`]).
+    dcache: Box<[DecodedLine; DECODE_CACHE_ENTRIES]>,
+    dcache_enabled: bool,
+    dcache_hits: u64,
+    dcache_misses: u64,
     // Statistics / activity.
     cycles: u64,
     retired: u64,
@@ -98,6 +130,10 @@ impl Cpu {
             pending: None,
             last_irq_ack: None,
             fetch_buf: None,
+            dcache: Box::new([INVALID_LINE; DECODE_CACHE_ENTRIES]),
+            dcache_enabled: true,
+            dcache_hits: 0,
+            dcache_misses: 0,
             cycles: 0,
             retired: 0,
             fetches: 0,
@@ -163,6 +199,37 @@ impl Cpu {
     /// Cycles spent asleep in `wfi`.
     pub fn sleep_cycles(&self) -> u64 {
         self.sleep_cycles
+    }
+
+    /// Enables or disables the decoded-instruction cache. The cache is a
+    /// host-side accelerator only — both settings execute bit-identically
+    /// (same fetch counts, timing and architectural effects); differential
+    /// tests run the same workload under both to prove it. Disabling also
+    /// flushes, so re-enabling starts cold with clean statistics.
+    pub fn set_decode_cache_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.flush_decode_cache();
+            self.dcache_hits = 0;
+            self.dcache_misses = 0;
+        }
+        self.dcache_enabled = enabled;
+    }
+
+    /// Whether the decoded-instruction cache is active.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.dcache_enabled
+    }
+
+    /// Decoded-instruction cache `(hits, misses)` since reset/disable.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        (self.dcache_hits, self.dcache_misses)
+    }
+
+    /// Invalidates every decoded-instruction cache line (the `fence.i`
+    /// path; stores need no invalidation because hits re-verify the raw
+    /// instruction bits).
+    fn flush_decode_cache(&mut self) {
+        self.dcache.fill(INVALID_LINE);
     }
 
     /// Accounts `k` cycles of WFI sleep (or halt) in one step, exactly as
@@ -271,6 +338,11 @@ impl Cpu {
     /// (compressed) parcels and 32-bit instructions straddling a word
     /// boundary (which costs a second fetch, as in Ibex's prefetch
     /// buffer).
+    ///
+    /// The fetch itself always runs — `fetches` accounting and
+    /// prefetch-buffer state stay bit-identical whether the decode cache
+    /// hits or not; a hit only replaces the `decode`/`decode_compressed`
+    /// work with a tag + raw-bits compare against the fetched word.
     fn fetch_decode(&mut self, bus: &mut impl CpuBus) -> Result<(Instr, u32), DecodeError> {
         let pc = self.pc;
         let aligned = pc & !3;
@@ -280,8 +352,19 @@ impl Cpu {
         } else {
             (word >> 16) as u16
         };
+        let idx = (pc >> 1) as usize & (DECODE_CACHE_ENTRIES - 1);
         if is_compressed(low_half) {
-            return decode_compressed(low_half, pc).map(|i| (i, 2));
+            let raw = u32::from(low_half);
+            if self.dcache_enabled {
+                let line = self.dcache[idx];
+                if line.pc == pc && line.raw == raw {
+                    self.dcache_hits += 1;
+                    return Ok((line.instr, 2));
+                }
+            }
+            let instr = decode_compressed(low_half, pc)?;
+            self.fill_decode_cache(idx, pc, raw, instr);
+            return Ok((instr, 2));
         }
         let full = if pc & 2 == 0 {
             word
@@ -290,7 +373,23 @@ impl Cpu {
             let next = self.fetch_word(aligned + 4, bus);
             u32::from(low_half) | (next << 16)
         };
-        decode(full, pc).map(|i| (i, 4))
+        if self.dcache_enabled {
+            let line = self.dcache[idx];
+            if line.pc == pc && line.raw == full {
+                self.dcache_hits += 1;
+                return Ok((line.instr, 4));
+            }
+        }
+        let instr = decode(full, pc)?;
+        self.fill_decode_cache(idx, pc, full, instr);
+        Ok((instr, 4))
+    }
+
+    fn fill_decode_cache(&mut self, idx: usize, pc: u32, raw: u32, instr: Instr) {
+        if self.dcache_enabled {
+            self.dcache_misses += 1;
+            self.dcache[idx] = DecodedLine { pc, raw, instr };
+        }
     }
 
     /// Reads an instruction word through the prefetch buffer.
@@ -480,6 +579,11 @@ impl Cpu {
                 self.retire(timing::ALU - 1);
             }
             Instr::Fence => {
+                // Covers both `fence` and `fence.i` (the decoder folds the
+                // whole MISC-MEM opcode into one instruction): any fence
+                // re-synchronises the instruction stream, so drop every
+                // cached decode.
+                self.flush_decode_cache();
                 self.pc = next_pc;
                 self.retire(timing::ALU - 1);
             }

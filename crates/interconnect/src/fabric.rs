@@ -219,6 +219,17 @@ impl<S: ApbSlave> ApbFabric<S> {
             .map(|(i, s)| (SlaveId(i), s))
     }
 
+    /// Mutable access to the slave at raw index `idx` — the accessor
+    /// active-list schedulers use to visit a sparse subset of slaves
+    /// without walking [`ApbFabric::slaves_mut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= slave_count()`.
+    pub fn slave_mut_at(&mut self, idx: usize) -> &mut S {
+        &mut self.slaves[idx]
+    }
+
     /// Number of registered slaves.
     pub fn slave_count(&self) -> usize {
         self.slaves.len()

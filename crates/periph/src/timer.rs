@@ -207,6 +207,10 @@ impl Peripheral for Timer {
         wake_mask_of(&[self.start_line, self.stop_line])
     }
 
+    fn catch_up_is_noop(&self) -> bool {
+        !self.enable
+    }
+
     fn catch_up(&mut self, ctx: &mut PeriphCtx<'_>, elapsed: u64) {
         if !self.enable || elapsed == 0 {
             return;

@@ -125,6 +125,18 @@ pub trait Peripheral: ApbSlave + Send {
         let _ = (ctx, elapsed);
     }
 
+    /// Whether [`Peripheral::catch_up`] would currently do nothing — no
+    /// state, activity or trace change for any `elapsed`. The scheduler
+    /// samples this when the peripheral goes idle (nothing can mutate a
+    /// skipped peripheral, so the answer stays valid for the whole skip)
+    /// and elides the per-sync `catch_up` call for such "lazy" sleepers.
+    /// Must be `false` whenever `catch_up` is overridden with live state
+    /// (e.g. an enabled free-running counter); the default matches the
+    /// default no-op `catch_up`.
+    fn catch_up_is_noop(&self) -> bool {
+        true
+    }
+
     /// Harvests internally counted activity (register-file accesses
     /// observed through the APB interface since the last drain).
     fn drain_activity(&mut self, into: &mut ActivitySet);

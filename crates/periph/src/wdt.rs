@@ -152,6 +152,10 @@ impl Peripheral for Watchdog {
         wake_mask_of(&[self.kick_line])
     }
 
+    fn catch_up_is_noop(&self) -> bool {
+        !self.enable
+    }
+
     fn catch_up(&mut self, ctx: &mut PeriphCtx<'_>, elapsed: u64) {
         if !self.enable || elapsed == 0 {
             return;

@@ -194,6 +194,11 @@ pub struct Scenario {
     pub topology: Topology,
     /// Arbitration policy (round-robin vs fixed-priority).
     pub arbiter: ArbiterKind,
+    /// Run on the reference path: naive every-cycle peripheral ticking
+    /// and no decoded-instruction cache. Observationally identical to the
+    /// fast path (the differential tests prove it) but much slower — the
+    /// switch exists *for* those tests and for before/after benchmarks.
+    pub force_naive: bool,
 }
 
 /// Chained, validating constructor for [`Scenario`] — the canonical
@@ -237,6 +242,7 @@ impl Default for ScenarioBuilder {
                 use_udma: true,
                 topology: Topology::Shared,
                 arbiter: ArbiterKind::RoundRobin,
+                force_naive: false,
             },
         }
     }
@@ -342,6 +348,13 @@ impl ScenarioBuilder {
     /// Selects the arbitration policy.
     pub fn arbiter(mut self, arbiter: ArbiterKind) -> Self {
         self.draft.arbiter = arbiter;
+        self
+    }
+
+    /// Forces the reference simulation path (naive scheduling, no decode
+    /// cache) — for differential tests and before/after benchmarks.
+    pub fn force_naive(mut self, force_naive: bool) -> Self {
+        self.draft.force_naive = force_naive;
         self
     }
 
@@ -534,6 +547,10 @@ impl Scenario {
                 .write(Spi::UDMA_SIZE, self.spi_words * 4)
                 .unwrap();
         }
+        if self.force_naive {
+            soc.set_naive_scheduling(true);
+            soc.cpu_mut().set_decode_cache_enabled(false);
+        }
         soc
     }
 
@@ -572,7 +589,7 @@ impl Scenario {
         let budget = u64::from(self.events) * per_event + 2_000;
         let marker = self.completion_marker();
         let wanted = self.events as usize;
-        soc.run_until(budget, |s| s.trace().all(marker.0, marker.1).len() >= wanted);
+        soc.run_for_trace_count(budget, marker.0, marker.1, wanted);
 
         let window = soc.window_time();
         let cycles = soc.window_cycles();

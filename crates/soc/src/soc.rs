@@ -382,6 +382,13 @@ impl SocBuilder {
             cpu_awake_cycles: 0,
             window_cycles: 0,
             sleep: vec![SlaveSleep::Awake; slave_count],
+            sched: SlaveSched {
+                active: (0..slave_count).collect(),
+                asleep: 0,
+                lazy: 0,
+                wake_union: EventVector::EMPTY,
+                next_deadline: u64::MAX,
+            },
             naive_ticking: false,
             clock_ids,
         }
@@ -409,12 +416,65 @@ enum SlaveSleep {
     /// ticked again no later than cycle `deadline`. `mask` is the
     /// wake-event mask cached when the slave went to sleep (wiring is
     /// construction-time static, and any register access wakes the slave
-    /// before it could change).
+    /// before it could change). `lazy` caches
+    /// [`Peripheral::catch_up_is_noop`] from the same moment — nothing
+    /// can mutate a sleeping slave, so it stays valid for the whole skip
+    /// and lets `sync_slaves` bypass slaves with nothing to reconstruct.
     Asleep {
         since: u64,
         deadline: u64,
         mask: EventVector,
+        lazy: bool,
     },
+}
+
+/// Aggregates over the per-slave [`SlaveSleep`] vector, rebuilt whenever
+/// any slave changes sleep state. They turn the per-cycle scheduling
+/// questions ("does any sleeper need waking?", "who must tick?") into a
+/// few word-sized compares instead of a walk over every `Box<dyn
+/// Peripheral>` — the active-slave scheduling half of the fast active
+/// path (see `DESIGN.md` §7).
+#[derive(Debug, Clone, Default)]
+struct SlaveSched {
+    /// Indices of awake slaves, ascending — iterating it visits slaves
+    /// in exactly the order the naive full walk does.
+    active: Vec<usize>,
+    /// Bit-per-index mask of sleeping slaves.
+    asleep: u64,
+    /// Bit-per-index mask of sleepers whose `catch_up` is a no-op.
+    lazy: u64,
+    /// Union of all sleepers' wake masks.
+    wake_union: EventVector,
+    /// Earliest sleeper deadline (`u64::MAX` when none sleeps).
+    next_deadline: u64,
+}
+
+impl SlaveSched {
+    fn rebuild(&mut self, sleep: &[SlaveSleep]) {
+        self.active.clear();
+        self.asleep = 0;
+        self.lazy = 0;
+        self.wake_union = EventVector::EMPTY;
+        self.next_deadline = u64::MAX;
+        for (i, s) in sleep.iter().enumerate() {
+            match *s {
+                SlaveSleep::Awake => self.active.push(i),
+                SlaveSleep::Asleep {
+                    deadline,
+                    mask,
+                    lazy,
+                    ..
+                } => {
+                    self.asleep |= 1 << i;
+                    if lazy {
+                        self.lazy |= 1 << i;
+                    }
+                    self.wake_union |= mask;
+                    self.next_deadline = self.next_deadline.min(deadline);
+                }
+            }
+        }
+    }
 }
 
 /// The assembled PULPissimo-like SoC.
@@ -449,6 +509,8 @@ pub struct Soc {
     window_cycles: u64,
     /// Per-slave quiescence state, indexed by slave index.
     sleep: Vec<SlaveSleep>,
+    /// Aggregates over `sleep`, kept in lockstep with it.
+    sched: SlaveSched,
     /// When set, every slave ticks every cycle (the reference scheduler
     /// the differential property test compares against).
     naive_ticking: bool,
@@ -665,6 +727,7 @@ impl Soc {
         // the slave awake so its next tick sees the poked state.
         self.sync_slaves();
         self.sleep[id.index()] = SlaveSleep::Awake;
+        self.sched.rebuild(&self.sleep);
         self.fabric
             .slave_mut(id)
             .as_any_mut()
@@ -776,6 +839,14 @@ impl Soc {
     /// in `tests/` proves it).
     pub fn set_naive_scheduling(&mut self, naive: bool) {
         self.sync_slaves();
+        if naive {
+            // Naive ticking never re-evaluates sleep state, so any slave
+            // left asleep here would be skipped forever (and then
+            // double-counted by a later catch-up). Wake everyone; the
+            // sync above already replayed their skipped spans.
+            self.sleep.fill(SlaveSleep::Awake);
+            self.sched.rebuild(&self.sleep);
+        }
         self.naive_ticking = naive;
     }
 
@@ -785,6 +856,14 @@ impl Soc {
     /// `run_until` predicates, activity drains — so user code never sees
     /// lagging state.
     fn sync_slaves(&mut self) {
+        // Only sleepers with a live catch-up (an enabled timer/watchdog
+        // mid-count) have state to reconstruct; lazy sleepers' `catch_up`
+        // is a no-op by contract, so skipping them — `since` and all — is
+        // observationally identical.
+        let mut pending = self.sched.asleep & !self.sched.lazy;
+        if pending == 0 {
+            return;
+        }
         let cycle = self.cycle;
         let time = self.time();
         let sleep = &mut self.sleep;
@@ -797,11 +876,13 @@ impl Soc {
             activity: &mut self.activity,
             trace: &mut self.trace,
         };
-        for (sid, p) in self.fabric.slaves_mut() {
-            if let SlaveSleep::Asleep { since, .. } = &mut sleep[sid.index()] {
+        while pending != 0 {
+            let i = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            if let SlaveSleep::Asleep { since, .. } = &mut sleep[i] {
                 let elapsed = cycle - *since;
                 if elapsed > 0 {
-                    p.catch_up(&mut ctx, elapsed);
+                    self.fabric.slave_mut_at(i).catch_up(&mut ctx, elapsed);
                     *since = cycle;
                 }
             }
@@ -831,9 +912,21 @@ impl Soc {
         let injected = std::mem::take(&mut self.injected);
         let wires = self.prev_wires | injected;
         let naive = self.naive_ticking;
-        let targeted = self.fabric.targeted_slaves();
-        let touched = self.fabric.touched_slaves();
-        let pulses = {
+        // Aggregate stir check: can *any* sleeper need waking this cycle?
+        // The aggregates are conservative unions/minima of the per-slave
+        // conditions, so `false` here proves the full walk would wake
+        // nobody — the active list alone is then exactly the set of
+        // slaves the naive walk would tick.
+        let stirred = self.sched.asleep != 0
+            && (cycle >= self.sched.next_deadline
+                || wires.intersects(self.sched.wake_union)
+                || (self.fabric.targeted_slaves() | self.fabric.touched_slaves())
+                    & self.sched.asleep
+                    != 0);
+        let mut any_woke = false;
+        let pulses = if naive || stirred {
+            let targeted = self.fabric.targeted_slaves();
+            let touched = self.fabric.touched_slaves();
             let sleep = &mut self.sleep;
             let mut ctx = PeriphCtx {
                 cycle,
@@ -851,6 +944,7 @@ impl Soc {
                         since,
                         deadline,
                         mask,
+                        ..
                     } = sleep[i]
                     {
                         let bit = 1u64 << i;
@@ -863,12 +957,33 @@ impl Soc {
                         }
                         p.catch_up(&mut ctx, cycle - since);
                         sleep[i] = SlaveSleep::Awake;
+                        any_woke = true;
                     }
                 }
                 p.tick(&mut ctx);
             }
             ctx.events_out | injected
+        } else {
+            // Fast path: no sleeper can wake, so only the active list
+            // ticks — the per-cycle cost is proportional to activity, not
+            // to the slave count.
+            let mut ctx = PeriphCtx {
+                cycle,
+                time,
+                events_in: wires,
+                events_out: EventVector::EMPTY,
+                l2: &mut self.l2,
+                activity: &mut self.activity,
+                trace: &mut self.trace,
+            };
+            for &i in &self.sched.active {
+                self.fabric.slave_mut_at(i).tick(&mut ctx);
+            }
+            ctx.events_out | injected
         };
+        if any_woke {
+            self.sched.rebuild(&self.sleep);
+        }
 
         // 2. PELS.
         let actions = {
@@ -910,30 +1025,38 @@ impl Soc {
         //     the fabric phases so a register write landing this cycle
         //     is reflected.
         if !naive {
-            let sleep = &mut self.sleep;
-            for (sid, p) in self.fabric.slaves_mut() {
-                let i = sid.index();
-                if matches!(sleep[i], SlaveSleep::Awake) {
-                    match p.idle_hint() {
-                        IdleHint::Busy => {}
-                        IdleHint::IdleFor(n) => {
-                            if n >= 2 {
-                                sleep[i] = SlaveSleep::Asleep {
-                                    since: cycle + 1,
-                                    deadline: cycle.saturating_add(n),
-                                    mask: p.wake_mask(),
-                                };
-                            }
-                        }
-                        IdleHint::Idle => {
-                            sleep[i] = SlaveSleep::Asleep {
+            // Only awake slaves can fall asleep, so consulting just the
+            // active list is exhaustive. (Sleepers re-decide when they
+            // wake, never in place.)
+            let mut any_slept = false;
+            for &i in &self.sched.active {
+                let p = self.fabric.slave_mut_at(i);
+                match p.idle_hint() {
+                    IdleHint::Busy => {}
+                    IdleHint::IdleFor(n) => {
+                        if n >= 2 {
+                            self.sleep[i] = SlaveSleep::Asleep {
                                 since: cycle + 1,
-                                deadline: u64::MAX,
+                                deadline: cycle.saturating_add(n),
                                 mask: p.wake_mask(),
+                                lazy: p.catch_up_is_noop(),
                             };
+                            any_slept = true;
                         }
                     }
+                    IdleHint::Idle => {
+                        self.sleep[i] = SlaveSleep::Asleep {
+                            since: cycle + 1,
+                            deadline: u64::MAX,
+                            mask: p.wake_mask(),
+                            lazy: p.catch_up_is_noop(),
+                        };
+                        any_slept = true;
+                    }
                 }
+            }
+            if any_slept {
+                self.sched.rebuild(&self.sleep);
             }
         }
 
@@ -963,23 +1086,21 @@ impl Soc {
         let wires = self.prev_wires;
         // Every slave must be asleep, unwakeable by the current wires,
         // and strictly before its deadline; the span is bounded by the
-        // nearest deadline.
-        let mut span = budget;
-        for s in &self.sleep {
-            match *s {
-                SlaveSleep::Awake => return 0,
-                SlaveSleep::Asleep { deadline, mask, .. } => {
-                    if wires.intersects(mask) {
-                        return 0;
-                    }
-                    let remain = deadline.saturating_sub(self.cycle);
-                    if remain == 0 {
-                        return 0;
-                    }
-                    span = span.min(remain);
-                }
-            }
+        // nearest deadline. The `sched` aggregates answer all three in
+        // O(1): an empty active list is "all asleep", the wake-mask
+        // union covers every sleeper's mask, and the minimum deadline
+        // bounds them all.
+        if !self.sched.active.is_empty() {
+            return 0;
         }
+        if wires.intersects(self.sched.wake_union) {
+            return 0;
+        }
+        let remain = self.sched.next_deadline.saturating_sub(self.cycle);
+        if remain == 0 {
+            return 0;
+        }
+        let span = budget.min(remain);
         if !self.fabric.is_quiescent() {
             return 0;
         }
@@ -1020,6 +1141,11 @@ impl Soc {
 
     /// Runs until `pred(self)` holds or `max_cycles` elapse; returns
     /// `true` if the predicate was met.
+    ///
+    /// Cycle-exact: the predicate is evaluated before every cycle, so
+    /// this never jumps over idle spans (the predicate could observe any
+    /// state). Use [`Soc::run_for_trace_count`] when the condition is a
+    /// trace-entry count — that one can skip.
     pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Soc) -> bool) -> bool {
         for _ in 0..max_cycles {
             self.sync_slaves();
@@ -1030,6 +1156,47 @@ impl Soc {
         }
         self.sync_slaves();
         pred(self)
+    }
+
+    /// Runs until the trace holds at least `count` entries matching
+    /// `(source, label)`, or `max_cycles` elapse; returns `true` if the
+    /// count was reached. Pre-existing matching entries count.
+    ///
+    /// The scenario engine's completion condition. Unlike a
+    /// [`Soc::run_until`] closure re-scanning the trace, this scans each
+    /// entry exactly once (the trace is append-only) and jumps over
+    /// provably inert spans — no component may act during such a span,
+    /// so no trace entry can appear inside it and the stop cycle is
+    /// identical to single-stepping.
+    pub fn run_for_trace_count(
+        &mut self,
+        max_cycles: u64,
+        source: &str,
+        label: &str,
+        count: usize,
+    ) -> bool {
+        let id = ComponentId::intern(source);
+        let end = self.cycle.saturating_add(max_cycles);
+        let mut seen = 0usize;
+        let mut scanned = 0usize;
+        loop {
+            let entries = self.trace.entries();
+            while scanned < entries.len() {
+                let e = &entries[scanned];
+                if e.source == id && e.label == label {
+                    seen += 1;
+                }
+                scanned += 1;
+            }
+            let done = seen >= count;
+            if done || self.cycle >= end {
+                self.sync_slaves();
+                return done;
+            }
+            if self.try_skip(end - self.cycle) == 0 {
+                self.step_inner();
+            }
+        }
     }
 
     /// Drains all accumulated activity — peripheral register traffic, CPU

@@ -6,8 +6,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Includes the active-path groups (busy_cpu_quiescent_slaves{,_naive},
+# active_path_naive/*) so the decode-cache and active-slave fast paths
+# are executed against their forced-naive references on every pass.
 cargo bench -q -p pels-bench --bench sim_throughput -- --sample-size 10
 echo "bench_smoke: sim_throughput OK"
+
+# Compile guard: the force_naive differential switch (Scenario::force_naive
+# + Soc::set_naive_scheduling + Cpu::set_decode_cache_enabled) must keep
+# compiling — the differential tests and the *_naive bench groups are the
+# only proof the fast path is observationally invisible.
+cargo test -q --test active_path --no-run
+echo "bench_smoke: active_path differential suite compiles OK"
 
 # The fleet bench also asserts serial-vs-parallel digest equality.
 cargo bench -q -p pels-bench --bench fleet -- --sample-size 10
