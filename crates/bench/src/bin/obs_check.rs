@@ -1,0 +1,89 @@
+//! Schema gate for the observability artifacts.
+//!
+//! ```text
+//! cargo run -p pels-bench --bin obs_check --release
+//! ```
+//!
+//! Validates `OBS_metrics.json` (a flat object of non-negative integer
+//! counters, with the decode-cache, scheduler and fleet-worker keys
+//! present and nonzero) and `OBS_trace.json` (well-formed Chrome
+//! trace-event JSON). `scripts/bench_smoke.sh` runs this after
+//! `reproduce -- sim_throughput --obs`, so any drift in the exporters
+//! fails the tier-1 verify pass instead of silently shipping broken
+//! artifacts.
+
+use pels_obs::json::{self, Value};
+use std::process::ExitCode;
+
+/// Counters the reference `--obs` workload must drive to a nonzero
+/// value: a zero here means the busy-CPU scenario or the fleet pass no
+/// longer exercises that layer.
+const NONZERO_KEYS: &[&str] = &[
+    "cpu.cycles",
+    "cpu.retired",
+    "cpu.decode_cache.hits",
+    "cpu.decode_cache.misses",
+    "soc.sched.rebuilds",
+    "soc.sched.sleeps",
+    "fleet.jobs",
+    "fleet.workers",
+    "fleet.worker0.jobs",
+];
+
+fn check_metrics(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| format!("{path}: top level must be an object"))?;
+    if obj.is_empty() {
+        return Err(format!("{path}: empty metrics snapshot"));
+    }
+    for (key, value) in obj {
+        value
+            .as_u64()
+            .ok_or_else(|| format!("{path}: `{key}` is not a non-negative integer"))?;
+    }
+    for key in NONZERO_KEYS {
+        match doc.get(key).and_then(Value::as_u64) {
+            None => return Err(format!("{path}: required counter `{key}` is missing")),
+            Some(0) => {
+                return Err(format!(
+                    "{path}: counter `{key}` is zero — the reference workload \
+                     no longer exercises it"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_trace(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    pels_obs::chrome::validate(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+type Check = fn(&str) -> Result<(), String>;
+
+fn main() -> ExitCode {
+    let checks: [(&str, Check); 2] = [
+        ("OBS_metrics.json", check_metrics),
+        ("OBS_trace.json", check_trace),
+    ];
+    let mut ok = true;
+    for (path, check) in checks {
+        match check(path) {
+            Ok(()) => println!("obs_check: {path} OK"),
+            Err(e) => {
+                eprintln!("obs_check: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

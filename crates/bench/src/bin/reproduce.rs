@@ -11,10 +11,17 @@
 //! tracked across PRs), and `fleet` (which runs a reference sweep on 1
 //! worker and on all available workers, checks the two reports are
 //! bit-identical, and writes `BENCH_fleet_throughput.json`).
+//!
+//! The `--obs` flag (combinable with any artifact subset) enables the
+//! host-time span profiler for the whole run and appends an
+//! observability pass: a busy-CPU scenario plus a small fleet, exported
+//! as `OBS_metrics.json` (flat counter snapshot) and `OBS_trace.json`
+//! (Chrome trace-event JSON, loadable in Perfetto / `chrome://tracing`).
+//! `obs_check` gates both files' schemas in `scripts/bench_smoke.sh`.
 
 use pels_bench::{ablations, experiments, sota, throughput};
 use pels_fleet::{report as fleet_report, FleetEngine, SweepSpec};
-use pels_soc::Mediator;
+use pels_soc::{Mediator, Scenario};
 use std::process::ExitCode;
 
 const ALL: &[&str] = &[
@@ -72,6 +79,55 @@ fn run_fleet_artifact() -> Result<String, String> {
     ))
 }
 
+/// The `--obs` pass: runs a busy-CPU scenario and a small fleet with
+/// full metrics collection, then exports the merged counter snapshot and
+/// the Chrome trace (simulated-time events + host-time spans).
+fn run_obs_artifact() -> Result<String, String> {
+    // The profiler was enabled in `main` before any artifact ran; start
+    // the event buffer from a clean slate so the exported trace covers
+    // exactly this pass.
+    pels_obs::profile::reset();
+    let mut reg = pels_obs::MetricsRegistry::new();
+
+    // Busy-CPU workload: the interrupt path keeps the core fetching, so
+    // the decode cache, the scheduler and the fabric all engage.
+    let scenario = Scenario::iso_frequency(Mediator::IbexIrq)
+        .to_builder()
+        .obs(true)
+        .build()
+        .map_err(|e| format!("obs scenario invalid: {e}"))?;
+    let report = scenario
+        .try_run()
+        .map_err(|e| format!("obs scenario failed: {e}"))?;
+    reg.absorb(report.metrics.as_ref().expect("obs(true) snapshot"));
+
+    // A small fleet on one worker — single-worker attribution is
+    // deterministic, so `fleet.worker0.jobs` is reliably nonzero for the
+    // obs_check schema gate.
+    let fleet = FleetEngine::new(1)
+        .run_sweep(&SweepSpec::new().mediators(&[Mediator::PelsSequenced, Mediator::IbexIrq]))
+        .map_err(|e| format!("obs fleet sweep invalid: {e}"))?;
+    fleet.publish_metrics(&mut reg);
+
+    let snap = reg.snapshot();
+    std::fs::write("OBS_metrics.json", snap.to_json())
+        .map_err(|e| format!("writing OBS_metrics.json: {e}"))?;
+
+    let mut chrome = pels_obs::ChromeTrace::new();
+    chrome.add_sim_trace(&report.trace);
+    chrome.add_host_spans(&pels_obs::profile::take_events());
+    let doc = chrome.finish();
+    pels_obs::chrome::validate(&doc).map_err(|e| format!("chrome trace invalid: {e}"))?;
+    std::fs::write("OBS_trace.json", &doc)
+        .map_err(|e| format!("writing OBS_trace.json: {e}"))?;
+
+    Ok(format!(
+        "Observability - metrics snapshot and trace export\n{snap}\n{}\n\
+         (wrote OBS_metrics.json, OBS_trace.json)\n",
+        pels_obs::profile::report().render(),
+    ))
+}
+
 fn run_one(artifact: &str) -> Result<(), String> {
     let text = match artifact {
         "table1" => {
@@ -107,7 +163,13 @@ fn run_one(artifact: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let before = args.len();
+    args.retain(|a| a != "--obs");
+    let obs = args.len() != before;
+    if obs {
+        pels_obs::profile::set_enabled(true);
+    }
     let selected: Vec<&str> = if args.is_empty() {
         ALL.to_vec()
     } else {
@@ -117,6 +179,18 @@ fn main() -> ExitCode {
         if let Err(e) = run_one(artifact) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if obs {
+        match run_obs_artifact() {
+            Ok(text) => {
+                println!("================================================================");
+                println!("{text}");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

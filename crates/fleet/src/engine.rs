@@ -9,12 +9,17 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// One job's result from [`FleetEngine::map`]: how long it ran on its
-/// worker, and what it produced.
+/// One job's result from [`FleetEngine::map`]: how long it ran, where it
+/// ran, and what it produced.
 #[derive(Debug, Clone)]
 pub struct JobResult<R> {
     /// Wall-clock time the job spent on its worker.
     pub elapsed: std::time::Duration,
+    /// Index of the worker thread that executed the job.
+    pub worker: usize,
+    /// `true` when the job was stolen from another worker's deque rather
+    /// than popped from the executing worker's own share.
+    pub stolen: bool,
     /// The job's output, or its own failure.
     pub result: Result<R, JobError>,
 }
@@ -87,20 +92,22 @@ impl FleetEngine {
                 .push_back(i);
         }
 
-        let (tx, rx) = mpsc::channel::<(usize, std::time::Duration, Result<R, JobError>)>();
+        type Report<R> = (usize, usize, bool, std::time::Duration, Result<R, JobError>);
+        let (tx, rx) = mpsc::channel::<Report<R>>();
         std::thread::scope(|scope| {
             for me in 0..workers {
                 let tx = tx.clone();
                 let deques = &deques;
                 let job = &job;
                 scope.spawn(move || {
-                    while let Some(idx) = next_job(me, deques) {
+                    while let Some((idx, stolen)) = next_job(me, deques) {
+                        let _span = pels_obs::profile::span("fleet.job");
                         let start = Instant::now();
                         let result = catch_unwind(AssertUnwindSafe(|| job(&items[idx])))
                             .unwrap_or_else(|p| Err(JobError::Panicked(panic_message(&*p))));
                         // The receiver outlives the scope; a send only
                         // fails if the batch was abandoned wholesale.
-                        let _ = tx.send((idx, start.elapsed(), result));
+                        let _ = tx.send((idx, me, stolen, start.elapsed(), result));
                     }
                 });
             }
@@ -108,8 +115,13 @@ impl FleetEngine {
         drop(tx);
 
         let mut slots: Vec<Option<JobResult<R>>> = (0..n).map(|_| None).collect();
-        for (idx, elapsed, result) in rx {
-            slots[idx] = Some(JobResult { elapsed, result });
+        for (idx, worker, stolen, elapsed, result) in rx {
+            slots[idx] = Some(JobResult {
+                elapsed,
+                worker,
+                stolen,
+                result,
+            });
         }
         slots
             .into_iter()
@@ -121,6 +133,7 @@ impl FleetEngine {
     /// [`JobOutcome::measure`] (simulate + power summary) on a worker,
     /// weighted by the scenario's estimated simulated-cycle cost.
     pub fn run_scenarios(&self, jobs: &[(String, Scenario)]) -> FleetReport {
+        let _span = pels_obs::profile::span("fleet.batch");
         let start = Instant::now();
         let results = self.map(
             jobs,
@@ -135,6 +148,8 @@ impl FleetEngine {
                 .map(|((label, _), r)| FleetJob {
                     label: label.clone(),
                     elapsed: r.elapsed,
+                    worker: r.worker,
+                    stolen: r.stolen,
                     result: r.result,
                 })
                 .collect(),
@@ -171,16 +186,18 @@ fn scenario_weight(s: &Scenario) -> u64 {
     2 * (u64::from(s.events) * per_event + 2_000)
 }
 
-fn next_job(me: usize, deques: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+/// Pops the next job index for worker `me`, with a flag marking whether
+/// it came from a sibling's deque (a steal) rather than `me`'s own share.
+fn next_job(me: usize, deques: &[Mutex<VecDeque<usize>>]) -> Option<(usize, bool)> {
     // Own queue from the front...
     if let Some(i) = deques[me].lock().expect("deque poisoned").pop_front() {
-        return Some(i);
+        return Some((i, false));
     }
     // ...then steal from the back of the busiest-looking sibling.
     for k in 1..deques.len() {
         let other = (me + k) % deques.len();
         if let Some(i) = deques[other].lock().expect("deque poisoned").pop_back() {
-            return Some(i);
+            return Some((i, true));
         }
     }
     None

@@ -50,7 +50,7 @@ pub mod report;
 pub mod sweep;
 
 pub use engine::{FleetEngine, JobResult};
-pub use report::{FleetJob, FleetReport, JobError, JobOutcome};
+pub use report::{FleetJob, FleetReport, JobError, JobOutcome, WorkerStats};
 pub use sweep::SweepSpec;
 
 // The engine migrates whole simulations to worker threads; these bindings

@@ -87,8 +87,28 @@ pub struct FleetJob {
     pub label: String,
     /// Wall-clock time the job spent on its worker.
     pub elapsed: Duration,
+    /// Index of the worker thread that executed the job.
+    pub worker: usize,
+    /// `true` when the job was stolen from a sibling worker's deque.
+    pub stolen: bool,
     /// The outcome, or this job's own failure.
     pub result: Result<JobOutcome, JobError>,
+}
+
+/// Aggregated execution statistics for one worker of a fleet batch,
+/// derived from the jobs' worker attribution
+/// ([`FleetReport::worker_stats`]). Host-timing observability only —
+/// none of these fields enter [`FleetReport::digest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// How many of those jobs it stole from a sibling's deque.
+    pub steals: u64,
+    /// Total wall-clock time this worker spent executing jobs.
+    pub busy: Duration,
 }
 
 /// The reduction of one fleet run: jobs **in input order** (never in
@@ -128,6 +148,50 @@ impl FleetReport {
     /// speedup.
     pub fn busy(&self) -> Duration {
         self.jobs.iter().map(|j| j.elapsed).sum()
+    }
+
+    /// Per-worker execution statistics (jobs, steals, busy time),
+    /// aggregated from the job slots. Every configured worker gets an
+    /// entry, including workers that executed nothing.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        let mut stats: Vec<WorkerStats> = (0..self.workers)
+            .map(|worker| WorkerStats {
+                worker,
+                jobs: 0,
+                steals: 0,
+                busy: Duration::ZERO,
+            })
+            .collect();
+        for job in &self.jobs {
+            if let Some(w) = stats.get_mut(job.worker) {
+                w.jobs += 1;
+                w.steals += u64::from(job.stolen);
+                w.busy += job.elapsed;
+            }
+        }
+        stats
+    }
+
+    /// Publishes batch-level and per-worker counters into `reg`
+    /// (`fleet.jobs`, `fleet.steals`, `fleet.worker<N>.jobs`, …). Pure
+    /// observation of an already-reduced report — cannot perturb results.
+    pub fn publish_metrics(&self, reg: &mut pels_obs::MetricsRegistry) {
+        reg.set_named("fleet.jobs", self.jobs.len() as u64);
+        reg.set_named("fleet.failed", self.failed().count() as u64);
+        reg.set_named("fleet.workers", self.workers as u64);
+        reg.set_named("fleet.wall_us", self.wall.as_micros() as u64);
+        reg.set_named("fleet.busy_us", self.busy().as_micros() as u64);
+        let mut steals = 0;
+        for w in self.worker_stats() {
+            steals += w.steals;
+            reg.set_named(&format!("fleet.worker{}.jobs", w.worker), w.jobs);
+            reg.set_named(&format!("fleet.worker{}.steals", w.worker), w.steals);
+            reg.set_named(
+                &format!("fleet.worker{}.busy_us", w.worker),
+                w.busy.as_micros() as u64,
+            );
+        }
+        reg.set_named("fleet.steals", steals);
     }
 
     /// Realized speedup: total worker-busy time over batch wall time.
@@ -198,26 +262,38 @@ impl FleetReport {
         );
         let _ = writeln!(
             out,
-            "  {:<38} {:>9} {:>11} {:>11} {:>9}",
-            "job", "lat [cyc]", "active [uW]", "idle [uW]", "t [ms]"
+            "  {:<38} {:>9} {:>11} {:>11} {:>9} {:>5}",
+            "job", "lat [cyc]", "active [uW]", "idle [uW]", "t [ms]", "on"
         );
         for job in &self.jobs {
+            let on = format!("w{}{}", job.worker, if job.stolen { "*" } else { "" });
             match &job.result {
                 Ok(o) => {
                     let _ = writeln!(
                         out,
-                        "  {:<38} {:>9} {:>11.1} {:>11.1} {:>9.2}",
+                        "  {:<38} {:>9} {:>11.1} {:>11.1} {:>9.2} {:>5}",
                         job.label,
                         o.report.stats.mean,
                         o.active_uw,
                         o.idle_uw,
                         job.elapsed.as_secs_f64() * 1e3,
+                        on,
                     );
                 }
                 Err(e) => {
                     let _ = writeln!(out, "  {:<38} FAILED: {e}", job.label);
                 }
             }
+        }
+        for w in self.worker_stats() {
+            let _ = writeln!(
+                out,
+                "  worker {}: {} job(s), {} stolen, busy {:.1} ms",
+                w.worker,
+                w.jobs,
+                w.steals,
+                w.busy.as_secs_f64() * 1e3,
+            );
         }
         out
     }
@@ -280,6 +356,18 @@ pub fn to_json(report: &FleetReport, host_parallelism: usize) -> String {
         "  \"jobs_per_sec\": {:.3},\n",
         report.jobs.len() as f64 / report.wall.as_secs_f64().max(1e-9)
     ));
+    s.push_str("  \"worker_stats\": [");
+    for (i, w) in report.worker_stats().iter().enumerate() {
+        let sep = if i + 1 < report.workers { "," } else { "" };
+        s.push_str(&format!(
+            "\n    {{\"worker\": {}, \"jobs\": {}, \"steals\": {}, \"busy_ms\": {:.3}}}{sep}",
+            w.worker,
+            w.jobs,
+            w.steals,
+            w.busy.as_secs_f64() * 1e3
+        ));
+    }
+    s.push_str("\n  ],\n");
     s.push_str(&format!("  \"digest\": \"{:016x}\"\n", report.digest()));
     s.push('}');
     s.push('\n');
@@ -300,11 +388,15 @@ mod tests {
                 FleetJob {
                     label: "ok".into(),
                     elapsed: Duration::from_millis(3),
+                    worker: 0,
+                    stolen: false,
                     result: Ok(outcome),
                 },
                 FleetJob {
                     label: "bad".into(),
                     elapsed: Duration::from_millis(1),
+                    worker: 0,
+                    stolen: true,
                     result: Err(JobError::Scenario(ScenarioError::ZeroEvents)),
                 },
             ],
@@ -318,8 +410,14 @@ mod tests {
         let mut b = a.clone();
         b.wall = Duration::from_secs(7);
         b.jobs[0].elapsed = Duration::from_secs(1);
+        b.jobs[0].worker = 5;
+        b.jobs[0].stolen = true;
         b.workers = 16;
-        assert_eq!(a.digest(), b.digest(), "timing and worker count are noise");
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "timing and worker attribution are noise"
+        );
 
         let mut c = a.clone();
         if let Ok(o) = &mut c.jobs[0].result {
@@ -345,8 +443,29 @@ mod tests {
         assert!(j.contains("\"jobs\": 2"));
         assert!(j.contains("\"failed\": 1"));
         assert!(j.contains("\"host_parallelism\": 4"));
+        assert!(j.contains("\"worker_stats\": ["));
         assert!(j.contains("\"digest\": \""));
         assert!(!j.contains(",\n}"));
+        pels_obs::json::parse(&j).expect("fleet JSON parses");
+    }
+
+    #[test]
+    fn worker_stats_aggregate_attribution_and_publish() {
+        let r = tiny_report();
+        let stats = r.worker_stats();
+        assert_eq!(stats.len(), 1, "one entry per configured worker");
+        assert_eq!(stats[0].jobs, 2);
+        assert_eq!(stats[0].steals, 1, "the 'bad' job was marked stolen");
+        assert_eq!(stats[0].busy, Duration::from_millis(4));
+
+        let mut reg = pels_obs::MetricsRegistry::new();
+        r.publish_metrics(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("fleet.jobs"), Some(2));
+        assert_eq!(snap.get("fleet.failed"), Some(1));
+        assert_eq!(snap.get("fleet.worker0.jobs"), Some(2));
+        assert_eq!(snap.get("fleet.worker0.steals"), Some(1));
+        assert_eq!(snap.get("fleet.steals"), Some(1));
     }
 
     #[test]

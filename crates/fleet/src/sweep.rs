@@ -32,6 +32,7 @@ pub struct SweepSpec {
     arbiters: Vec<ArbiterKind>,
     events: u32,
     rmw_only: bool,
+    obs: bool,
 }
 
 impl Default for SweepSpec {
@@ -44,6 +45,7 @@ impl Default for SweepSpec {
             arbiters: vec![ArbiterKind::RoundRobin],
             events: 20,
             rmw_only: false,
+            obs: false,
         }
     }
 }
@@ -96,6 +98,14 @@ impl SweepSpec {
         self
     }
 
+    /// `true` → every job collects an observability metrics snapshot
+    /// ([`pels_soc::ScenarioReport::metrics`]). Applied uniformly — it is
+    /// a reporting switch, not a sweep axis.
+    pub fn obs(mut self, obs: bool) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Expands the cartesian product into labelled scenarios, in a fixed
     /// deterministic order (mediator-major, arbiter-minor). Labels encode
     /// every axis value, so they are unique within the sweep.
@@ -120,6 +130,7 @@ impl SweepSpec {
                                 .arbiter(arbiter)
                                 .events(self.events)
                                 .rmw_only(self.rmw_only)
+                                .obs(self.obs)
                                 .build()?;
                             let label = format!(
                                 "{mediator}@{mhz:.0}MHz links{links} {topology} {arbiter}"
@@ -143,6 +154,9 @@ mod tests {
         let jobs = SweepSpec::new().jobs().unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].1.mediator, Mediator::PelsSequenced);
+        assert!(!jobs[0].1.obs, "obs is opt-in");
+        let observed = SweepSpec::new().obs(true).jobs().unwrap();
+        assert!(observed[0].1.obs);
     }
 
     #[test]

@@ -51,6 +51,18 @@ impl fmt::Display for Topology {
     }
 }
 
+/// Per-master arbitration statistics, cumulative over the fabric's
+/// lifetime (unlike the windowed [`ApbFabric::drain_activity`] counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterStats {
+    /// The master port's interned name (`ibex`, `pels.link0`, …).
+    pub name: &'static str,
+    /// Requests granted a lane.
+    pub grants: u64,
+    /// Master-cycles spent with a request pending but not granted.
+    pub stall_cycles: u64,
+}
+
 /// Aggregate fabric statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FabricStats {
@@ -90,7 +102,12 @@ struct MasterPort {
     id: ComponentId,
     pending: Option<ApbRequest>,
     response: Option<ApbResponse>,
+    /// Windowed stall count, reset by `drain_activity`.
     stall_cycles: u64,
+    /// Lifetime grant count.
+    grants: u64,
+    /// Lifetime stall count (never reset).
+    stall_total: u64,
 }
 
 /// The peripheral interconnect.
@@ -179,6 +196,8 @@ impl<S: ApbSlave> ApbFabric<S> {
             pending: None,
             response: None,
             stall_cycles: 0,
+            grants: 0,
+            stall_total: 0,
         });
         MasterId(self.masters.len() - 1)
     }
@@ -293,6 +312,18 @@ impl<S: ApbSlave> ApbFabric<S> {
         self.stats
     }
 
+    /// Per-master lifetime arbitration statistics, in port order.
+    pub fn master_stats(&self) -> Vec<MasterStats> {
+        self.masters
+            .iter()
+            .map(|p| MasterStats {
+                name: p.id.name(),
+                grants: p.grants,
+                stall_cycles: p.stall_total,
+            })
+            .collect()
+    }
+
     /// Lane index a request on `addr` arbitrates in.
     fn lane_of(&self, target: Option<(usize, u32)>) -> usize {
         match self.topology {
@@ -400,6 +431,7 @@ impl<S: ApbSlave> ApbFabric<S> {
                     .pending
                     .take()
                     .expect("granted master has a pending request");
+                self.masters[granted].grants += 1;
                 self.lanes[lane] = Some(InFlight {
                     master: granted,
                     target: decoded[granted],
@@ -413,6 +445,7 @@ impl<S: ApbSlave> ApbFabric<S> {
         for port in &mut self.masters {
             if port.pending.is_some() {
                 port.stall_cycles += 1;
+                port.stall_total += 1;
                 self.stats.stall_cycles += 1;
             }
         }
@@ -686,6 +719,30 @@ mod tests {
         let mut a2 = ActivitySet::new();
         f.drain_activity(&mut a2);
         assert_eq!(a2.count("fabric", ActivityKind::BusTransfer), 0);
+    }
+
+    #[test]
+    fn master_stats_track_grants_and_stalls_cumulatively() {
+        let mut f: ApbFabric<MemorySlave> = ApbFabric::shared();
+        let a = f.add_master("ms-test-a");
+        let b = f.add_master("ms-test-b");
+        f.add_slave(AddrRange::new(0x0, 0x100), MemorySlave::new(0x100));
+        f.issue(a, ApbRequest::read(0x0)).unwrap();
+        f.issue(b, ApbRequest::read(0x4)).unwrap();
+        for _ in 0..4 {
+            f.tick();
+        }
+        let stats = f.master_stats();
+        assert_eq!(stats[0].name, "ms-test-a");
+        assert_eq!(stats[0].grants, 1);
+        assert_eq!(stats[1].grants, 1);
+        // b waited while a's transfer occupied the shared lane.
+        assert!(stats[1].stall_cycles > 0);
+        // Unlike the windowed activity counters, master stats survive a
+        // drain.
+        let mut acts = ActivitySet::new();
+        f.drain_activity(&mut acts);
+        assert_eq!(f.master_stats()[1].stall_cycles, stats[1].stall_cycles);
     }
 
     #[test]

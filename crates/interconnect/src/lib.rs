@@ -46,5 +46,5 @@ pub mod memory;
 pub use addr::{AddrRange, AddressMap};
 pub use apb::{ApbRequest, ApbResponse, ApbSlave, BusError};
 pub use arbiter::{Arbiter, ArbiterKind, FixedPriority, RoundRobin};
-pub use fabric::{ApbFabric, FabricStats, MasterId, SlaveId, Topology};
+pub use fabric::{ApbFabric, FabricStats, MasterId, MasterStats, SlaveId, Topology};
 pub use memory::MemorySlave;

@@ -1,0 +1,269 @@
+//! Chrome trace-event export.
+//!
+//! Serializes two time domains into one document loadable in Perfetto or
+//! `chrome://tracing`:
+//!
+//! * the **simulated-time** [`Trace`] — every entry becomes an instant
+//!   event on a per-component track under the `sim` process, with the
+//!   picosecond timestamp mapped onto the format's microsecond axis;
+//! * the **host-time** profiler intervals ([`SpanEvent`]) — complete
+//!   (`"X"`) events on per-thread tracks under the `host` process.
+//!
+//! Only the JSON-array-of-events subset of the trace-event format is
+//! emitted (`{"traceEvents": [...]}`), which both viewers accept.
+
+use crate::json::{self, Value};
+use crate::profile::SpanEvent;
+use pels_sim::{ComponentId, Trace};
+use std::collections::HashMap;
+
+/// Process id used for simulated-time events.
+pub const SIM_PID: u64 = 1;
+/// Process id used for host-time profiler spans.
+pub const HOST_PID: u64 = 2;
+
+/// Builder for a Chrome trace-event document.
+///
+/// ```
+/// use pels_obs::ChromeTrace;
+/// use pels_sim::{SimTime, Trace};
+/// let mut t = Trace::new();
+/// t.record_named(SimTime::from_ns(10), "spi", "eot", 1);
+/// let mut ct = ChromeTrace::new();
+/// ct.add_sim_trace(&t);
+/// let doc = ct.finish();
+/// assert!(doc.contains("\"traceEvents\""));
+/// assert!(pels_obs::chrome::validate(&doc).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+    sim_tids: HashMap<ComponentId, u64>,
+    named_threads: Vec<(u64, u64)>,
+}
+
+impl ChromeTrace {
+    /// Creates an empty document builder.
+    pub fn new() -> Self {
+        let mut ct = ChromeTrace::default();
+        ct.name_process(SIM_PID, "sim (simulated time)");
+        ct.name_process(HOST_PID, "host (wall time)");
+        ct
+    }
+
+    fn name_process(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {pid}, \"tid\": 0, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            json::escape(name)
+        ));
+    }
+
+    fn name_thread(&mut self, pid: u64, tid: u64, name: &str) {
+        if self.named_threads.contains(&(pid, tid)) {
+            return;
+        }
+        self.named_threads.push((pid, tid));
+        self.events.push(format!(
+            "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {pid}, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            json::escape(name)
+        ));
+    }
+
+    /// Adds every entry of a simulated-time trace as instant events, one
+    /// track per source component. 1 simulated µs maps to 1 trace µs.
+    pub fn add_sim_trace(&mut self, trace: &Trace) {
+        for e in trace.entries() {
+            let next = self.sim_tids.len() as u64 + 1;
+            let tid = *self.sim_tids.entry(e.source).or_insert(next);
+            self.name_thread(SIM_PID, tid, e.source.name());
+            self.events.push(format!(
+                "{{\"ph\": \"i\", \"name\": \"{}.{}\", \"cat\": \"sim\", \"s\": \"t\", \
+                 \"ts\": {}, \"pid\": {SIM_PID}, \"tid\": {tid}, \"args\": {{\"value\": {}}}}}",
+                json::escape(e.source.name()),
+                json::escape(e.label),
+                e.time.as_ps() as f64 / 1e6,
+                e.value,
+            ));
+        }
+    }
+
+    /// Adds host-time profiler intervals as complete (`"X"`) events, one
+    /// track per profiled thread.
+    pub fn add_host_spans(&mut self, spans: &[SpanEvent]) {
+        for s in spans {
+            self.name_thread(HOST_PID, s.thread, &format!("host thread {}", s.thread));
+            self.events.push(format!(
+                "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"host\", \
+                 \"ts\": {}, \"dur\": {}, \"pid\": {HOST_PID}, \"tid\": {}}}",
+                json::escape(&s.path),
+                s.start_us,
+                s.dur_us,
+                s.thread,
+            ));
+        }
+    }
+
+    /// Number of events added so far (including metadata events).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether only the builder preamble is present.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the `{"traceEvents": [...]}` document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            let sep = if i + 1 < self.events.len() { "," } else { "" };
+            out.push_str("  ");
+            out.push_str(e);
+            out.push_str(sep);
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Schema-checks a rendered trace document: well-formed JSON, a
+/// `traceEvents` array, and per-event field requirements (`ph`/`name`
+/// strings, numeric `ts`/`pid`/`tid`, `dur` on complete events).
+///
+/// This is the gate `bench_smoke.sh` runs (through the `obs_check`
+/// binary) against `reproduce --obs` output.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate(doc: &str) -> Result<(), String> {
+    let v = json::parse(doc).map_err(|e| e.to_string())?;
+    let events = v
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    for (i, e) in events.iter().enumerate() {
+        let ctx = |msg: &str| format!("event {i}: {msg}");
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("missing string ph"))?;
+        e.get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("missing string name"))?;
+        for field in ["pid", "tid"] {
+            e.get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ctx(&format!("missing integer {field}")))?;
+        }
+        match ph {
+            "M" => {}
+            "i" | "I" | "X" | "B" | "E" => {
+                e.get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| ctx("missing numeric ts"))?;
+                if ph == "X" {
+                    e.get("dur")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| ctx("missing numeric dur on X event"))?;
+                }
+            }
+            other => return Err(ctx(&format!("unsupported phase {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pels_sim::SimTime;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.record_named(SimTime::from_ns(10), "chrome-test-spi", "eot", 0);
+        t.record_named(SimTime::from_ns(80), "chrome-test-gpio", "set", 1);
+        t.record_named(SimTime::from_ns(120), "chrome-test-spi", "eot", 1);
+        t
+    }
+
+    #[test]
+    fn sim_trace_renders_instant_events_per_source_track() {
+        let mut ct = ChromeTrace::new();
+        ct.add_sim_trace(&sample_trace());
+        let doc = ct.finish();
+        validate(&doc).expect("valid document");
+        let v = json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let instants: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 3);
+        assert_eq!(
+            instants[0].get("name").and_then(Value::as_str),
+            Some("chrome-test-spi.eot")
+        );
+        // 10 ns = 0.01 µs on the trace axis.
+        assert_eq!(instants[0].get("ts").and_then(Value::as_f64), Some(0.01));
+        // Same source, same track.
+        assert_eq!(
+            instants[0].get("tid").and_then(Value::as_u64),
+            instants[2].get("tid").and_then(Value::as_u64)
+        );
+        assert_ne!(
+            instants[0].get("tid").and_then(Value::as_u64),
+            instants[1].get("tid").and_then(Value::as_u64)
+        );
+    }
+
+    #[test]
+    fn host_spans_render_complete_events() {
+        let mut ct = ChromeTrace::new();
+        ct.add_host_spans(&[SpanEvent {
+            path: "outer/inner".into(),
+            start_us: 5.0,
+            dur_us: 2.5,
+            thread: 3,
+        }]);
+        let doc = ct.finish();
+        validate(&doc).expect("valid document");
+        assert!(doc.contains("\"ph\": \"X\""));
+        assert!(doc.contains("\"name\": \"outer/inner\""));
+        assert!(doc.contains("\"dur\": 2.5"));
+        assert!(doc.contains(&format!("\"pid\": {HOST_PID}")));
+    }
+
+    #[test]
+    fn thread_metadata_emitted_once_per_track() {
+        let mut ct = ChromeTrace::new();
+        ct.add_sim_trace(&sample_trace());
+        ct.add_sim_trace(&sample_trace());
+        let doc = ct.finish();
+        assert_eq!(doc.matches("\"chrome-test-spi\"").count(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_documents() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"traceEvents\": 3}").is_err());
+        assert!(validate("{\"traceEvents\": []}").is_err());
+        assert!(
+            validate("{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"a\", \"ts\": 1, \"pid\": 1, \"tid\": 1}]}")
+                .is_err(),
+            "X event without dur rejected"
+        );
+        assert!(
+            validate("{\"traceEvents\": [{\"ph\": \"i\", \"name\": \"a\", \"ts\": 1, \"pid\": 1, \"tid\": 1}]}")
+                .is_ok()
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Host-time span profiler.
+//!
+//! Wraps interesting host-side regions (scenario run loops, fleet jobs,
+//! bench phases) in RAII [`SpanGuard`]s. Per-path aggregates (call
+//! count, total and self time) feed the rendered [`ProfileReport`]; the
+//! raw intervals are kept (bounded) for Chrome trace export via
+//! [`take_events`].
+//!
+//! The profiler is **globally disabled by default**: a [`span`] call on
+//! the disabled profiler is one relaxed atomic load and constructs an
+//! inert guard, so instrumented code paths cost nothing measurable when
+//! observability is off. Enabling ([`set_enabled`]) is process-wide.
+//!
+//! Guards use thread-local stacks, so nesting is tracked per thread and
+//! parent paths compose as `parent/child`. Guards must be dropped in
+//! LIFO order within a thread (the natural scoping discipline); they are
+//! deliberately `!Send` so a span cannot end on a different thread than
+//! it started on.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+/// Cap on retained raw intervals, so a long profiled run cannot grow the
+/// event buffer without bound. Aggregates keep counting past the cap.
+const MAX_EVENTS: usize = 65_536;
+
+/// Enables or disables the profiler process-wide.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the profiler is currently recording.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The host-time origin all span timestamps are measured from
+/// (initialized lazily by the first recorded span).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One completed span interval, for trace export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Full nesting path, e.g. `fleet.map/job`.
+    pub path: String,
+    /// Start offset from the profiler epoch, in microseconds.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Dense profiler-assigned thread number (stable per thread).
+    pub thread: u64,
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Number of completed spans at this path.
+    pub calls: u64,
+    /// Total wall time, nanoseconds (including children).
+    pub total_ns: u64,
+    /// Wall time excluding child spans, nanoseconds.
+    pub self_ns: u64,
+}
+
+#[derive(Default)]
+struct Store {
+    agg: BTreeMap<String, SpanStats>,
+    events: Vec<SpanEvent>,
+}
+
+fn store() -> &'static Mutex<Store> {
+    static STORE: OnceLock<Mutex<Store>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Store::default()))
+}
+
+struct Frame {
+    path: String,
+    start: Instant,
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static THREAD_NUM: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Opens a profiled span; the region ends when the guard drops.
+///
+/// Inert (and nearly free) while the profiler is disabled.
+///
+/// ```
+/// pels_obs::profile::reset();
+/// pels_obs::profile::set_enabled(true);
+/// {
+///     let _outer = pels_obs::profile::span("outer");
+///     let _inner = pels_obs::profile::span("inner");
+/// }
+/// pels_obs::profile::set_enabled(false);
+/// let report = pels_obs::profile::report();
+/// assert_eq!(report.get("outer").unwrap().calls, 1);
+/// assert_eq!(report.get("outer/inner").unwrap().calls, 1);
+/// ```
+#[must_use = "the span ends when the guard is dropped"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard {
+            active: false,
+            _not_send: PhantomData,
+        };
+    }
+    let _ = epoch();
+    STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let path = match s.last() {
+            Some(parent) => format!("{}/{name}", parent.path),
+            None => name.to_owned(),
+        };
+        s.push(Frame {
+            path,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+    });
+    SpanGuard {
+        active: true,
+        _not_send: PhantomData,
+    }
+}
+
+/// RAII guard for an open span (see [`span`]).
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+    // Spans must end on the thread they started on.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let Some(frame) = STACK.with(|s| s.borrow_mut().pop()) else {
+            return;
+        };
+        let total_ns = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let self_ns = total_ns.saturating_sub(frame.child_ns);
+        STACK.with(|s| {
+            if let Some(parent) = s.borrow_mut().last_mut() {
+                parent.child_ns += total_ns;
+            }
+        });
+        let start_us = frame
+            .start
+            .saturating_duration_since(epoch())
+            .as_secs_f64()
+            * 1e6;
+        let thread = THREAD_NUM.with(|t| *t);
+        let mut st = store().lock().expect("profiler store poisoned");
+        let agg = st.agg.entry(frame.path.clone()).or_default();
+        agg.calls += 1;
+        agg.total_ns += total_ns;
+        agg.self_ns += self_ns;
+        if st.events.len() < MAX_EVENTS {
+            st.events.push(SpanEvent {
+                path: frame.path,
+                start_us,
+                dur_us: total_ns as f64 / 1e3,
+                thread,
+            });
+        }
+    }
+}
+
+/// Clears all aggregates and retained events (the enabled flag is left
+/// alone). Call before a profiled region you want to report in
+/// isolation.
+pub fn reset() {
+    let mut st = store().lock().expect("profiler store poisoned");
+    st.agg.clear();
+    st.events.clear();
+}
+
+/// Drains and returns the retained raw intervals (for Chrome export).
+pub fn take_events() -> Vec<SpanEvent> {
+    let mut st = store().lock().expect("profiler store poisoned");
+    std::mem::take(&mut st.events)
+}
+
+/// Snapshots the per-path aggregates into a report.
+pub fn report() -> ProfileReport {
+    let st = store().lock().expect("profiler store poisoned");
+    ProfileReport {
+        entries: st.agg.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+    }
+}
+
+/// A snapshot of span aggregates, sorted by path so children follow
+/// their parents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    entries: Vec<(String, SpanStats)>,
+}
+
+impl ProfileReport {
+    /// Stats for an exact span path.
+    pub fn get(&self, path: &str) -> Option<&SpanStats> {
+        self.entries
+            .binary_search_by(|(p, _)| p.as_str().cmp(path))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Iterates `(path, stats)` in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SpanStats)> + '_ {
+        self.entries.iter().map(|(p, s)| (p.as_str(), s))
+    }
+
+    /// Whether any spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the hierarchical table: indentation follows nesting, with
+    /// call counts and total/self milliseconds per path.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>8} {:>12} {:>12}\n",
+            "span", "calls", "total ms", "self ms"
+        ));
+        for (path, s) in self.iter() {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{}{leaf}", "  ".repeat(depth));
+            out.push_str(&format!(
+                "{label:<44} {:>8} {:>12.3} {:>12.3}\n",
+                s.calls,
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The profiler is a process-wide singleton; tests touching it must
+    // not interleave.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _l = lock();
+        reset();
+        set_enabled(false);
+        {
+            let _g = span("profile-test-disabled");
+        }
+        assert!(report().get("profile-test-disabled").is_none());
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_compose_paths_and_self_time() {
+        let _l = lock();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("profile-test-outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        set_enabled(false);
+        let rep = report();
+        let outer = rep.get("profile-test-outer").expect("outer recorded");
+        let inner = rep
+            .get("profile-test-outer/inner")
+            .expect("inner recorded under outer");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns + 1_000_000,
+            "outer self time excludes the inner span"
+        );
+        let events = take_events();
+        assert_eq!(events.len(), 2);
+        // Drop order: inner completes first.
+        assert_eq!(events[0].path, "profile-test-outer/inner");
+        assert_eq!(events[1].path, "profile-test-outer");
+        assert!(events[1].dur_us >= events[0].dur_us);
+        assert_eq!(events[0].thread, events[1].thread);
+    }
+
+    #[test]
+    fn repeated_spans_aggregate_calls() {
+        let _l = lock();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _g = span("profile-test-repeat");
+        }
+        set_enabled(false);
+        assert_eq!(report().get("profile-test-repeat").unwrap().calls, 3);
+        let _ = take_events();
+    }
+
+    #[test]
+    fn render_indents_children() {
+        let _l = lock();
+        reset();
+        set_enabled(true);
+        {
+            let _a = span("profile-test-render");
+            let _b = span("child");
+        }
+        set_enabled(false);
+        let text = report().render();
+        assert!(text.contains("profile-test-render"));
+        assert!(text.contains("  child"), "child is indented: {text}");
+        let _ = take_events();
+    }
+}

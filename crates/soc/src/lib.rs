@@ -44,4 +44,4 @@ pub mod soc;
 pub use scenario::{
     LinkingStats, Mediator, Scenario, ScenarioBuilder, ScenarioError, ScenarioReport,
 };
-pub use soc::{ConfigError, SensorKind, Soc, SocBuilder};
+pub use soc::{ConfigError, SchedStats, SensorKind, Soc, SocBuilder};

@@ -19,7 +19,7 @@ use crate::baseline;
 use crate::event_map::*;
 use crate::mem_map::*;
 use crate::power_setup;
-use crate::soc::{ConfigError, SensorKind, Soc, SocBuilder};
+use crate::soc::{ConfigError, SchedStats, SensorKind, Soc, SocBuilder};
 use pels_core::{ActionMode, Command, Cond, PelsConfig, Program, TriggerCond};
 use pels_interconnect::{ApbSlave, ArbiterKind, Topology};
 use pels_periph::{Spi, Timer};
@@ -199,6 +199,12 @@ pub struct Scenario {
     /// fast path (the differential tests prove it) but much slower — the
     /// switch exists *for* those tests and for before/after benchmarks.
     pub force_naive: bool,
+    /// Collect an observability metrics snapshot
+    /// ([`ScenarioReport::metrics`]) at the end of the run. Publishing
+    /// happens *after* the simulation windows complete, so the setting
+    /// cannot perturb architectural results (`tests/obs_invariance.rs`
+    /// proves obs-on and obs-off runs are bit-identical). Default false.
+    pub obs: bool,
 }
 
 /// Chained, validating constructor for [`Scenario`] — the canonical
@@ -243,6 +249,7 @@ impl Default for ScenarioBuilder {
                 topology: Topology::Shared,
                 arbiter: ArbiterKind::RoundRobin,
                 force_naive: false,
+                obs: false,
             },
         }
     }
@@ -355,6 +362,13 @@ impl ScenarioBuilder {
     /// cache) — for differential tests and before/after benchmarks.
     pub fn force_naive(mut self, force_naive: bool) -> Self {
         self.draft.force_naive = force_naive;
+        self
+    }
+
+    /// Collects an observability metrics snapshot with the report (see
+    /// [`Scenario::obs`]).
+    pub fn obs(mut self, obs: bool) -> Self {
+        self.draft.obs = obs;
         self
     }
 
@@ -589,10 +603,22 @@ impl Scenario {
         let budget = u64::from(self.events) * per_event + 2_000;
         let marker = self.completion_marker();
         let wanted = self.events as usize;
-        soc.run_for_trace_count(budget, marker.0, marker.1, wanted);
+        {
+            let _span = pels_obs::profile::span("scenario.active");
+            soc.run_for_trace_count(budget, marker.0, marker.1, wanted);
+        }
 
         let window = soc.window_time();
         let cycles = soc.window_cycles();
+        let sched_stats = soc.sched_stats();
+        let (decode_cache_hits, decode_cache_misses) = soc.decode_cache_stats();
+        // Snapshot before the drain: `drain_activity` resets the windowed
+        // counters (retired, fetches, fabric transfers) to zero.
+        let metrics = self.obs.then(|| {
+            let mut reg = pels_obs::MetricsRegistry::new();
+            soc.publish_metrics(&mut reg);
+            reg.snapshot()
+        });
         let activity = soc.drain_activity();
         // Re-arm the µDMA channel is unnecessary for measurement; events
         // beyond the first reuse the FIFO path, which is equivalent for
@@ -613,7 +639,10 @@ impl Scenario {
         // Idle window: identical configuration, timer disarmed, same
         // number of cycles.
         let mut idle_soc = self.build_soc();
-        idle_soc.run(cycles);
+        {
+            let _span = pels_obs::profile::span("scenario.idle");
+            idle_soc.run(cycles);
+        }
         let idle_window = idle_soc.window_time();
         let idle_activity = idle_soc.drain_activity();
 
@@ -629,6 +658,10 @@ impl Scenario {
             idle_window,
             pels: self.pels,
             trace: soc.trace().clone(),
+            sched_stats,
+            decode_cache_hits,
+            decode_cache_misses,
+            metrics,
         })
     }
 
@@ -670,6 +703,16 @@ pub struct ScenarioReport {
     pub pels: PelsConfig,
     /// The full event trace of the active run (per-stage analysis).
     pub trace: Trace,
+    /// Scheduler statistics of the active run (fast/stirred/naive cycle
+    /// split, skip spans, rebuilds).
+    pub sched_stats: SchedStats,
+    /// Decoded-instruction cache hits during the active run.
+    pub decode_cache_hits: u64,
+    /// Decoded-instruction cache misses during the active run.
+    pub decode_cache_misses: u64,
+    /// Full metrics snapshot of the active run — `Some` only when the
+    /// scenario was built with [`ScenarioBuilder::obs`].
+    pub metrics: Option<pels_obs::MetricsSnapshot>,
 }
 
 impl ScenarioReport {
@@ -692,6 +735,75 @@ impl ScenarioReport {
     /// check).
     pub fn mean_latency_time(&self) -> SimTime {
         SimTime::from_ps(self.stats.mean * self.freq.period_ps())
+    }
+
+    /// Serializes the report to a machine-readable JSON object.
+    ///
+    /// Covers the headline measurements (latency statistics, window
+    /// durations, events completed) plus the fast-path counters; when
+    /// the scenario ran with [`ScenarioBuilder::obs`] the full metrics
+    /// snapshot is inlined under `"metrics"`, otherwise that field is
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("{\n");
+        let _ = writeln!(
+            s,
+            "  \"mediator\": \"{}\",",
+            pels_obs::json::escape(&self.mediator.to_string())
+        );
+        let _ = writeln!(s, "  \"freq_mhz\": {},", self.freq.as_mhz());
+        let _ = writeln!(s, "  \"events_completed\": {},", self.events_completed);
+        let _ = writeln!(
+            s,
+            "  \"latency_cycles\": {{\"count\": {}, \"min\": {}, \"max\": {}, \
+             \"mean\": {}, \"jitter\": {}}},",
+            self.stats.count,
+            self.stats.min,
+            self.stats.max,
+            self.stats.mean,
+            self.stats.jitter()
+        );
+        let _ = writeln!(s, "  \"active_window_ns\": {},", self.active_window.as_ns());
+        let _ = writeln!(s, "  \"idle_window_ns\": {},", self.idle_window.as_ns());
+        let sc = &self.sched_stats;
+        let _ = writeln!(
+            s,
+            "  \"sched\": {{\"fast_cycles\": {}, \"stirred_cycles\": {}, \
+             \"naive_cycles\": {}, \"skip_spans\": {}, \"skipped_cycles\": {}, \
+             \"rebuilds\": {}, \"wakes\": {}, \"sleeps\": {}}},",
+            sc.fast_cycles,
+            sc.stirred_cycles,
+            sc.naive_cycles,
+            sc.skip_spans,
+            sc.skipped_cycles,
+            sc.rebuilds,
+            sc.wakes,
+            sc.sleeps
+        );
+        let _ = writeln!(
+            s,
+            "  \"decode_cache\": {{\"hits\": {}, \"misses\": {}}},",
+            self.decode_cache_hits, self.decode_cache_misses
+        );
+        let _ = writeln!(s, "  \"trace_events\": {},", self.trace.len());
+        match &self.metrics {
+            Some(snap) => {
+                s.push_str("  \"metrics\": {");
+                for (i, (name, v)) in snap.iter().enumerate() {
+                    let sep = if i + 1 < snap.len() { "," } else { "" };
+                    let _ = write!(
+                        s,
+                        "\n    \"{}\": {v}{sep}",
+                        pels_obs::json::escape(name)
+                    );
+                }
+                s.push_str("\n  }\n");
+            }
+            None => s.push_str("  \"metrics\": null\n"),
+        }
+        s.push_str("}\n");
+        s
     }
 }
 
@@ -757,6 +869,35 @@ mod tests {
                 report.mean_latency_time()
             );
         }
+    }
+
+    #[test]
+    fn obs_snapshot_is_opt_in_and_does_not_perturb_results() {
+        let base = Scenario::iso_frequency(Mediator::IbexIrq);
+        let plain = base.run();
+        let observed = base.to_builder().obs(true).build().unwrap().run();
+
+        // Opt-in: the snapshot only exists when requested.
+        assert!(plain.metrics.is_none());
+        let snap = observed.metrics.as_ref().expect("obs(true) snapshot");
+        assert!(snap.get("cpu.decode_cache.hits").unwrap_or(0) > 0);
+        assert_eq!(
+            snap.get("soc.sched.sleeps"),
+            Some(observed.sched_stats.sleeps)
+        );
+
+        // Zero perturbation: identical architectural results either way.
+        assert_eq!(plain.latencies, observed.latencies);
+        assert_eq!(plain.trace.entries(), observed.trace.entries());
+        assert_eq!(plain.sched_stats, observed.sched_stats);
+        assert_eq!(plain.decode_cache_hits, observed.decode_cache_hits);
+
+        // The JSON export carries the fast-path counters.
+        let json = observed.to_json();
+        assert!(json.contains("\"sched\""));
+        assert!(json.contains("\"decode_cache\""));
+        assert!(json.contains("\"cpu.decode_cache.hits\""));
+        assert!(plain.to_json().contains("\"metrics\": null"));
     }
 
     #[test]

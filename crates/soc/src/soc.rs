@@ -388,6 +388,7 @@ impl SocBuilder {
                 lazy: 0,
                 wake_union: EventVector::EMPTY,
                 next_deadline: u64::MAX,
+                stats: SchedStats::default(),
             },
             naive_ticking: false,
             clock_ids,
@@ -428,6 +429,41 @@ enum SlaveSleep {
     },
 }
 
+/// Cumulative scheduler statistics: which of the three stepping regimes
+/// each cycle took, how much whole-SoC idle time was jumped, and how
+/// often slaves changed sleep state. Pure observation — nothing in the
+/// scheduler reads these back, so recording them cannot perturb
+/// behaviour (`tests/obs_invariance.rs` proves runs are bit-identical
+/// with observability on or off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Cycles stepped on the fast active-list path (no sleeper could
+    /// wake, only active slaves ticked).
+    pub fast_cycles: u64,
+    /// Cycles where the aggregate stir check forced a full slave walk.
+    pub stirred_cycles: u64,
+    /// Cycles stepped under naive (reference) scheduling.
+    pub naive_cycles: u64,
+    /// Whole-SoC idle spans jumped by the O(1) skip.
+    pub skip_spans: u64,
+    /// Total cycles covered by those spans.
+    pub skipped_cycles: u64,
+    /// Scheduler aggregate rebuilds (one per sleep-state transition
+    /// batch).
+    pub rebuilds: u64,
+    /// Individual slave wake transitions.
+    pub wakes: u64,
+    /// Individual slave sleep transitions.
+    pub sleeps: u64,
+}
+
+impl SchedStats {
+    /// Cycles actually stepped (excludes skipped spans).
+    pub fn stepped_cycles(&self) -> u64 {
+        self.fast_cycles + self.stirred_cycles + self.naive_cycles
+    }
+}
+
 /// Aggregates over the per-slave [`SlaveSleep`] vector, rebuilt whenever
 /// any slave changes sleep state. They turn the per-cycle scheduling
 /// questions ("does any sleeper need waking?", "who must tick?") into a
@@ -447,10 +483,13 @@ struct SlaveSched {
     wake_union: EventVector,
     /// Earliest sleeper deadline (`u64::MAX` when none sleeps).
     next_deadline: u64,
+    /// Observation-only counters (never read by scheduling decisions).
+    stats: SchedStats,
 }
 
 impl SlaveSched {
     fn rebuild(&mut self, sleep: &[SlaveSleep]) {
+        self.stats.rebuilds += 1;
         self.active.clear();
         self.asleep = 0;
         self.lazy = 0;
@@ -817,6 +856,50 @@ impl Soc {
         self.fabric.stats()
     }
 
+    /// Per-master fabric arbitration statistics (grants and stall cycles
+    /// per bus master), cumulative since construction.
+    pub fn master_stats(&self) -> Vec<pels_interconnect::MasterStats> {
+        self.fabric.master_stats()
+    }
+
+    /// Scheduler statistics: fast/stirred/naive cycle split, skip spans,
+    /// rebuild and wake/sleep transition counts. Cumulative since
+    /// construction.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats
+    }
+
+    /// Decoded-instruction cache `(hits, misses)` (see
+    /// [`pels_cpu::Cpu::decode_cache_stats`]).
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        self.cpu.decode_cache_stats()
+    }
+
+    /// Publishes CPU, scheduler and fabric counters into an
+    /// observability registry (gauge semantics — idempotent at a given
+    /// point in the run). Keys: `cpu.*`, `soc.sched.*`, `fabric.*`, and
+    /// `fabric.master.<name>.*` per bus master.
+    pub fn publish_metrics(&self, reg: &mut pels_obs::MetricsRegistry) {
+        self.cpu.publish_metrics(reg);
+        let s = self.sched.stats;
+        reg.set_named("soc.sched.fast_cycles", s.fast_cycles);
+        reg.set_named("soc.sched.stirred_cycles", s.stirred_cycles);
+        reg.set_named("soc.sched.naive_cycles", s.naive_cycles);
+        reg.set_named("soc.sched.skip_spans", s.skip_spans);
+        reg.set_named("soc.sched.skipped_cycles", s.skipped_cycles);
+        reg.set_named("soc.sched.rebuilds", s.rebuilds);
+        reg.set_named("soc.sched.wakes", s.wakes);
+        reg.set_named("soc.sched.sleeps", s.sleeps);
+        let f = self.fabric.stats();
+        reg.set_named("fabric.transfers", f.transfers);
+        reg.set_named("fabric.stall_cycles", f.stall_cycles);
+        reg.set_named("fabric.busy_cycles", f.busy_cycles);
+        for m in self.fabric.master_stats() {
+            reg.set_named(&format!("fabric.master.{}.grants", m.name), m.grants);
+            reg.set_named(&format!("fabric.master.{}.stalls", m.name), m.stall_cycles);
+        }
+    }
+
     /// Injects an external event pulse on global line `line` for the
     /// next cycle — the pad-level wake-up path of ULP SoCs (paper
     /// Section I: "the processing domain only wakes up when a specific
@@ -924,7 +1007,13 @@ impl Soc {
                     & self.sched.asleep
                     != 0);
         let mut any_woke = false;
+        let mut woke_count = 0u64;
         let pulses = if naive || stirred {
+            if naive {
+                self.sched.stats.naive_cycles += 1;
+            } else {
+                self.sched.stats.stirred_cycles += 1;
+            }
             let targeted = self.fabric.targeted_slaves();
             let touched = self.fabric.touched_slaves();
             let sleep = &mut self.sleep;
@@ -958,6 +1047,7 @@ impl Soc {
                         p.catch_up(&mut ctx, cycle - since);
                         sleep[i] = SlaveSleep::Awake;
                         any_woke = true;
+                        woke_count += 1;
                     }
                 }
                 p.tick(&mut ctx);
@@ -967,6 +1057,7 @@ impl Soc {
             // Fast path: no sleeper can wake, so only the active list
             // ticks — the per-cycle cost is proportional to activity, not
             // to the slave count.
+            self.sched.stats.fast_cycles += 1;
             let mut ctx = PeriphCtx {
                 cycle,
                 time,
@@ -981,6 +1072,7 @@ impl Soc {
             }
             ctx.events_out | injected
         };
+        self.sched.stats.wakes += woke_count;
         if any_woke {
             self.sched.rebuild(&self.sleep);
         }
@@ -1028,7 +1120,7 @@ impl Soc {
             // Only awake slaves can fall asleep, so consulting just the
             // active list is exhaustive. (Sleepers re-decide when they
             // wake, never in place.)
-            let mut any_slept = false;
+            let mut slept_count = 0u64;
             for &i in &self.sched.active {
                 let p = self.fabric.slave_mut_at(i);
                 match p.idle_hint() {
@@ -1041,7 +1133,7 @@ impl Soc {
                                 mask: p.wake_mask(),
                                 lazy: p.catch_up_is_noop(),
                             };
-                            any_slept = true;
+                            slept_count += 1;
                         }
                     }
                     IdleHint::Idle => {
@@ -1051,11 +1143,12 @@ impl Soc {
                             mask: p.wake_mask(),
                             lazy: p.catch_up_is_noop(),
                         };
-                        any_slept = true;
+                        slept_count += 1;
                     }
                 }
             }
-            if any_slept {
+            self.sched.stats.sleeps += slept_count;
+            if slept_count > 0 {
                 self.sched.rebuild(&self.sleep);
             }
         }
@@ -1121,6 +1214,8 @@ impl Soc {
         self.fabric.skip_cycles(span);
         self.cycle += span;
         self.window_cycles += span;
+        self.sched.stats.skip_spans += 1;
+        self.sched.stats.skipped_cycles += span;
         span
     }
 
@@ -1377,6 +1472,47 @@ mod tests {
         let count = soc.trace().all("pels.link0", "action").len();
         soc.run(20);
         assert_eq!(soc.trace().all("pels.link0", "action").len(), count);
+    }
+
+    #[test]
+    fn sched_stats_and_metrics_reflect_a_busy_run() {
+        let mut soc = SocBuilder::new().build();
+        let mut p = vec![];
+        p.extend(asm::li32(1, apb_reg(GPIO_OFFSET, Gpio::PADOUTSET)));
+        p.extend(asm::li32(2, 0xA5));
+        p.push(asm::sw(1, 2, 0));
+        // Busy loop: re-executed instructions are decode-cache hits.
+        p.extend(asm::li32(3, 40));
+        p.push(asm::addi(3, 3, -1));
+        p.push(asm::bne(3, 0, -4));
+        p.push(asm::wfi());
+        soc.load_program(RESET_PC, &p);
+        soc.run(2_000);
+        let s = soc.sched_stats();
+        assert!(s.stepped_cycles() > 0, "some cycles were stepped");
+        assert!(s.sleeps > 0, "idle peripherals went to sleep");
+        assert!(s.rebuilds > 0, "sleep transitions rebuilt the aggregates");
+        assert!(
+            s.skipped_cycles > 0,
+            "post-wfi idle tail was skipped: {s:?}"
+        );
+        assert_eq!(
+            s.stepped_cycles() + s.skipped_cycles,
+            soc.cycle(),
+            "every cycle is either stepped or skipped"
+        );
+        let (hits, _misses) = soc.decode_cache_stats();
+        assert!(hits > 0, "li32 expansion re-executes cached lines");
+
+        let mut reg = pels_obs::MetricsRegistry::new();
+        soc.publish_metrics(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("cpu.decode_cache.hits"), Some(hits));
+        assert_eq!(snap.get("soc.sched.sleeps"), Some(s.sleeps));
+        assert!(
+            snap.get("fabric.master.ibex.grants").unwrap_or(0) > 0,
+            "the store to GPIO was granted: {snap}"
+        );
     }
 
     #[test]

@@ -23,5 +23,14 @@ echo "bench_smoke: active_path differential suite compiles OK"
 cargo bench -q -p pels-bench --bench fleet -- --sample-size 10
 echo "bench_smoke: fleet OK"
 
+# Observability gate: regenerate the OBS artifacts with the profiler on,
+# then schema-check them — the reference counters (decode cache,
+# scheduler, fleet workers) must be present and nonzero, and the Chrome
+# trace must be well-formed trace-event JSON. Drift in either exporter
+# fails here instead of shipping broken artifacts.
+cargo run -q --release -p pels-bench --bin reproduce -- sim_throughput --obs > /dev/null
+cargo run -q --release -p pels-bench --bin obs_check
+echo "bench_smoke: obs artifacts OK"
+
 cargo clippy --workspace --all-targets -q -- -D warnings
 echo "bench_smoke: clippy OK"
