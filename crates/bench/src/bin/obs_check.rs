@@ -6,8 +6,11 @@
 //!
 //! Validates `OBS_metrics.json` (a flat object of non-negative integer
 //! counters, with the decode-cache, scheduler and fleet-worker keys
-//! present and nonzero) and `OBS_trace.json` (well-formed Chrome
-//! trace-event JSON). `scripts/bench_smoke.sh` runs this after
+//! present and nonzero), `OBS_trace.json` (well-formed Chrome
+//! trace-event JSON that must include `"ph": "C"` power counter tracks)
+//! and `OBS_timeline.json` (at least one window, monotone contiguous
+//! window timestamps, non-negative per-component power).
+//! `scripts/bench_smoke.sh` runs this after
 //! `reproduce -- sim_throughput --obs`, so any drift in the exporters
 //! fails the tier-1 verify pass instead of silently shipping broken
 //! artifacts.
@@ -61,15 +64,94 @@ fn check_metrics(path: &str) -> Result<(), String> {
 
 fn check_trace(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    pels_obs::chrome::validate(&text).map_err(|e| format!("{path}: {e}"))
+    pels_obs::chrome::validate(&text).map_err(|e| format!("{path}: {e}"))?;
+    // The timeline exporter must have contributed counter tracks —
+    // a trace of only instant events means the power-over-time view
+    // silently disappeared from the artifact.
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let counters = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .map(|events| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+                .count()
+        })
+        .unwrap_or(0);
+    if counters == 0 {
+        return Err(format!(
+            "{path}: no `\"ph\": \"C\"` counter events — the power timeline \
+             is missing from the trace"
+        ));
+    }
+    Ok(())
+}
+
+fn check_timeline(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    for field in ["schema_version", "freq_mhz", "window_cycles"] {
+        doc.get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: missing numeric `{field}`"))?;
+    }
+    let windows = doc
+        .get("windows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: missing `windows` array"))?;
+    if windows.is_empty() {
+        return Err(format!("{path}: timeline has no windows"));
+    }
+    let mut prev_end: Option<u64> = None;
+    for (i, w) in windows.iter().enumerate() {
+        let ctx = |msg: &str| format!("{path}: window {i}: {msg}");
+        let cycle = |field: &str| {
+            w.get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ctx(&format!("missing integer `{field}`")))
+        };
+        let (start, end) = (cycle("start_cycle")?, cycle("end_cycle")?);
+        if end <= start {
+            return Err(ctx("window span is empty or reversed"));
+        }
+        if let Some(prev) = prev_end {
+            if start != prev {
+                return Err(ctx("window timestamps are not contiguous/monotone"));
+            }
+        }
+        prev_end = Some(end);
+        for field in ["start_ns", "end_ns", "total_uw"] {
+            w.get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ctx(&format!("missing numeric `{field}`")))?;
+        }
+        let components = w
+            .get("components")
+            .and_then(Value::as_object)
+            .ok_or_else(|| ctx("missing `components` object"))?;
+        if components.is_empty() {
+            return Err(ctx("window has no component breakdown"));
+        }
+        for (name, uw) in components {
+            let uw = uw
+                .as_f64()
+                .ok_or_else(|| ctx(&format!("component `{name}` power is not numeric")))?;
+            if uw < 0.0 {
+                return Err(ctx(&format!("component `{name}` power {uw} is negative")));
+            }
+        }
+    }
+    Ok(())
 }
 
 type Check = fn(&str) -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let checks: [(&str, Check); 2] = [
+    let checks: [(&str, Check); 3] = [
         ("OBS_metrics.json", check_metrics),
         ("OBS_trace.json", check_trace),
+        ("OBS_timeline.json", check_timeline),
     ];
     let mut ok = true;
     for (path, check) in checks {

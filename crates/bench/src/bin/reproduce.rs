@@ -14,10 +14,15 @@
 //!
 //! The `--obs` flag (combinable with any artifact subset) enables the
 //! host-time span profiler for the whole run and appends an
-//! observability pass: a busy-CPU scenario plus a small fleet, exported
-//! as `OBS_metrics.json` (flat counter snapshot) and `OBS_trace.json`
-//! (Chrome trace-event JSON, loadable in Perfetto / `chrome://tracing`).
-//! `obs_check` gates both files' schemas in `scripts/bench_smoke.sh`.
+//! observability pass: a busy-CPU scenario (with windowed activity
+//! sampling) plus a small fleet, exported as `OBS_metrics.json` (flat
+//! counter snapshot), `OBS_trace.json` (Chrome trace-event JSON with
+//! instant events, host spans and per-component power counter tracks,
+//! loadable in Perfetto / `chrome://tracing`) and `OBS_timeline.json`
+//! (the per-window per-component power timeline). The pass also prints
+//! the power-over-time sparkline and the latency histogram, so the
+//! terminal alone shows the shape of the run. `obs_check` gates all
+//! three files' schemas in `scripts/bench_smoke.sh`.
 
 use pels_bench::{ablations, experiments, sota, throughput};
 use pels_fleet::{report as fleet_report, FleetEngine, SweepSpec};
@@ -79,9 +84,57 @@ fn run_fleet_artifact() -> Result<String, String> {
     ))
 }
 
-/// The `--obs` pass: runs a busy-CPU scenario and a small fleet with
-/// full metrics collection, then exports the merged counter snapshot and
-/// the Chrome trace (simulated-time events + host-time spans).
+/// Nominal sampling window (cycles) for the `--obs` pass's activity
+/// timeline: ~20 windows over the reference run — coarse enough to stay
+/// readable in a terminal sparkline, fine enough to resolve the
+/// per-readout power bursts.
+const OBS_TIMELINE_WINDOW: u64 = 64;
+
+/// Serializes the power timeline as the flat `OBS_timeline.json`
+/// artifact: per window, the cycle/ns span, the total power and the
+/// per-component breakdown. `obs_check` schema-gates this file.
+fn timeline_to_json(
+    report: &pels_soc::ScenarioReport,
+    power: &pels_power::PowerTimeline,
+) -> String {
+    use std::fmt::Write as _;
+    let timeline = report.timeline.as_ref().expect("timeline sampled");
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"freq_mhz\": {},", report.freq.as_mhz());
+    let _ = writeln!(s, "  \"window_cycles\": {},", timeline.window_cycles);
+    let _ = writeln!(s, "  \"mean_total_uw\": {},", power.mean_total_uw());
+    s.push_str("  \"windows\": [");
+    let n = timeline.windows.len().min(power.samples.len());
+    for i in 0..n {
+        let (w, p) = (&timeline.windows[i], &power.samples[i]);
+        let sep = if i + 1 < n { "," } else { "" };
+        let _ = write!(
+            s,
+            "\n    {{\"start_cycle\": {}, \"end_cycle\": {}, \"start_ns\": {}, \
+             \"end_ns\": {}, \"total_uw\": {}, \"components\": {{",
+            w.start_cycle,
+            w.end_cycle,
+            p.start.as_ns(),
+            p.end.as_ns(),
+            p.total_uw,
+        );
+        for (j, (name, uw)) in p.components.iter().enumerate() {
+            let csep = if j + 1 < p.components.len() { ", " } else { "" };
+            let _ = write!(s, "\"{}\": {uw}{csep}", pels_obs::json::escape(name));
+        }
+        let _ = write!(s, "}}}}{sep}");
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// The `--obs` pass: runs a busy-CPU scenario (activity timeline
+/// sampled every [`OBS_TIMELINE_WINDOW`] cycles) and a small fleet with
+/// full metrics collection, then exports the merged counter snapshot,
+/// the Chrome trace (simulated-time events + host-time spans + power
+/// counter tracks) and the power timeline, and renders the latency
+/// histogram and power sparkline inline.
 fn run_obs_artifact() -> Result<String, String> {
     // The profiler was enabled in `main` before any artifact ran; start
     // the event buffer from a clean slate so the exported trace covers
@@ -94,6 +147,7 @@ fn run_obs_artifact() -> Result<String, String> {
     let scenario = Scenario::iso_frequency(Mediator::IbexIrq)
         .to_builder()
         .obs(true)
+        .timeline_window(OBS_TIMELINE_WINDOW)
         .build()
         .map_err(|e| format!("obs scenario invalid: {e}"))?;
     let report = scenario
@@ -113,8 +167,28 @@ fn run_obs_artifact() -> Result<String, String> {
     std::fs::write("OBS_metrics.json", snap.to_json())
         .map_err(|e| format!("writing OBS_metrics.json: {e}"))?;
 
+    // Power over simulated time: the model evaluated once per window.
+    let model = report.power_model();
+    let power = report
+        .power_timeline(&model)
+        .expect("timeline_window(>0) samples a timeline");
+    if power.is_empty() {
+        return Err("obs timeline captured no windows".into());
+    }
+    std::fs::write("OBS_timeline.json", timeline_to_json(&report, &power))
+        .map_err(|e| format!("writing OBS_timeline.json: {e}"))?;
+
     let mut chrome = pels_obs::ChromeTrace::new();
     chrome.add_sim_trace(&report.trace);
+    for s in &power.samples {
+        let series: Vec<(&str, f64)> = s
+            .components
+            .iter()
+            .map(|(name, uw)| (name.as_str(), *uw))
+            .collect();
+        chrome.add_counter("power_uw", s.start.as_us_f64(), &series);
+        chrome.add_counter("power_total_uw", s.start.as_us_f64(), &[("total", s.total_uw)]);
+    }
     chrome.add_host_spans(&pels_obs::profile::take_events());
     let doc = chrome.finish();
     pels_obs::chrome::validate(&doc).map_err(|e| format!("chrome trace invalid: {e}"))?;
@@ -122,9 +196,19 @@ fn run_obs_artifact() -> Result<String, String> {
         .map_err(|e| format!("writing OBS_trace.json: {e}"))?;
 
     Ok(format!(
-        "Observability - metrics snapshot and trace export\n{snap}\n{}\n\
-         (wrote OBS_metrics.json, OBS_trace.json)\n",
+        "Observability - metrics snapshot, trace export and timeline\n{snap}\n{}\n\
+         latency distribution ({} events, p50 {} / p99 {} cycles):\n{}\
+         power over simulated time ({} windows of ~{} cycles, mean {:.1} uW):\n  {}\n\
+         (wrote OBS_metrics.json, OBS_trace.json, OBS_timeline.json)\n",
         pels_obs::profile::report().render(),
+        report.latency_hist.count(),
+        report.stats.p50,
+        report.stats.p99,
+        report.latency_hist.render("cycles"),
+        power.len(),
+        OBS_TIMELINE_WINDOW,
+        power.mean_total_uw(),
+        pels_obs::hist::sparkline(&power.total_series()),
     ))
 }
 

@@ -194,6 +194,24 @@ impl FleetReport {
         reg.set_named("fleet.steals", steals);
     }
 
+    /// Merges every succeeded job's latency histogram into one
+    /// distribution for the whole batch.
+    ///
+    /// Deterministic whatever the worker count or completion order:
+    /// jobs are folded in input order, and
+    /// [`pels_obs::Histogram::merge`] is itself order-invariant (bucket
+    /// counts add), so either property alone would already pin the
+    /// result. Host-side reduction only — the digest does not cover the
+    /// merged histogram (it already covers every raw latency the
+    /// histogram is built from).
+    pub fn merged_latency_histogram(&self) -> pels_obs::Histogram {
+        let mut merged = pels_obs::Histogram::new();
+        for (_, o) in self.succeeded() {
+            merged.merge(&o.report.latency_hist);
+        }
+        merged
+    }
+
     /// Realized speedup: total worker-busy time over batch wall time.
     /// ~1.0 on a single worker (or a single-core host); approaches the
     /// worker count when the longest-first schedule packs well.
@@ -466,6 +484,28 @@ mod tests {
         assert_eq!(snap.get("fleet.worker0.jobs"), Some(2));
         assert_eq!(snap.get("fleet.worker0.steals"), Some(1));
         assert_eq!(snap.get("fleet.steals"), Some(1));
+    }
+
+    #[test]
+    fn merged_latency_histogram_spans_all_succeeded_jobs() {
+        let r = tiny_report();
+        let h = r.merged_latency_histogram();
+        let expected: u64 = r
+            .succeeded()
+            .map(|(_, o)| o.report.latencies.len() as u64)
+            .sum();
+        assert!(expected > 0);
+        assert_eq!(h.count(), expected);
+        // Merging per-job histograms matches recording every job's raw
+        // latencies into one — no samples lost or double-counted.
+        let mut direct = pels_obs::Histogram::new();
+        for (_, o) in r.succeeded() {
+            for &l in &o.report.latencies {
+                direct.record(l);
+            }
+        }
+        assert_eq!(h, direct);
+        assert_eq!(h.p50(), Some(r.outcome("ok").unwrap().report.stats.p50));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct SweepSpec {
     events: u32,
     rmw_only: bool,
     obs: bool,
+    timeline_window: u64,
 }
 
 impl Default for SweepSpec {
@@ -46,6 +47,7 @@ impl Default for SweepSpec {
             events: 20,
             rmw_only: false,
             obs: false,
+            timeline_window: 0,
         }
     }
 }
@@ -106,6 +108,17 @@ impl SweepSpec {
         self
     }
 
+    /// Nominal activity-sampling window (cycles) every job applies to
+    /// its active run; `0` (the default) disables timeline sampling.
+    /// Applied uniformly, like [`SweepSpec::obs`] — a reporting switch,
+    /// not a sweep axis. Sampling never perturbs results, so the fleet
+    /// digest is invariant under this setting
+    /// (`tests/obs_invariance.rs`).
+    pub fn timeline_window(mut self, window_cycles: u64) -> Self {
+        self.timeline_window = window_cycles;
+        self
+    }
+
     /// Expands the cartesian product into labelled scenarios, in a fixed
     /// deterministic order (mediator-major, arbiter-minor). Labels encode
     /// every axis value, so they are unique within the sweep.
@@ -131,6 +144,7 @@ impl SweepSpec {
                                 .events(self.events)
                                 .rmw_only(self.rmw_only)
                                 .obs(self.obs)
+                                .timeline_window(self.timeline_window)
                                 .build()?;
                             let label = format!(
                                 "{mediator}@{mhz:.0}MHz links{links} {topology} {arbiter}"

@@ -89,6 +89,31 @@ impl ChromeTrace {
         }
     }
 
+    /// Adds one counter-track sample (`"ph": "C"`) under the `sim`
+    /// process: a named set of numeric series at a simulated-time
+    /// timestamp (µs on the trace axis). Perfetto renders each series of
+    /// a given counter name as one track, so a sequence of calls with
+    /// the same `name` and timestamps in order draws a curve — power or
+    /// activity over simulated time next to the instant-event tracks.
+    ///
+    /// Series values must be finite (NaN/infinity have no JSON
+    /// representation); entries are emitted in the order given.
+    pub fn add_counter(&mut self, name: &str, ts_us: f64, series: &[(&str, f64)]) {
+        let mut args = String::new();
+        for (i, (key, value)) in series.iter().enumerate() {
+            debug_assert!(value.is_finite(), "counter series must be finite");
+            if i > 0 {
+                args.push_str(", ");
+            }
+            args.push_str(&format!("\"{}\": {}", json::escape(key), value));
+        }
+        self.events.push(format!(
+            "{{\"ph\": \"C\", \"name\": \"{}\", \"cat\": \"sim\", \"ts\": {ts_us}, \
+             \"pid\": {SIM_PID}, \"tid\": 0, \"args\": {{{args}}}}}",
+            json::escape(name),
+        ));
+    }
+
     /// Adds host-time profiler intervals as complete (`"X"`) events, one
     /// track per profiled thread.
     pub fn add_host_spans(&mut self, spans: &[SpanEvent]) {
@@ -176,6 +201,23 @@ pub fn validate(doc: &str) -> Result<(), String> {
                         .ok_or_else(|| ctx("missing numeric dur on X event"))?;
                 }
             }
+            "C" => {
+                e.get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| ctx("missing numeric ts"))?;
+                let args = e
+                    .get("args")
+                    .and_then(Value::as_object)
+                    .ok_or_else(|| ctx("missing args object on C event"))?;
+                if args.is_empty() {
+                    return Err(ctx("C event has no counter series"));
+                }
+                for (key, value) in args {
+                    value.as_f64().ok_or_else(|| {
+                        ctx(&format!("counter series `{key}` is not numeric"))
+                    })?;
+                }
+            }
             other => return Err(ctx(&format!("unsupported phase {other:?}"))),
         }
     }
@@ -249,6 +291,53 @@ mod tests {
         ct.add_sim_trace(&sample_trace());
         let doc = ct.finish();
         assert_eq!(doc.matches("\"chrome-test-spi\"").count(), 1);
+    }
+
+    #[test]
+    fn counter_events_render_and_validate() {
+        let mut ct = ChromeTrace::new();
+        ct.add_counter("power_uw", 0.5, &[("ibex", 120.25), ("sram", 80.0)]);
+        ct.add_counter("power_uw", 1.5, &[("ibex", 60.5), ("sram", 80.0)]);
+        let doc = ct.finish();
+        validate(&doc).expect("valid document");
+        let v = json::parse(&doc).unwrap();
+        let counters: Vec<&Value> = v
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        let args = counters[0].get("args").unwrap();
+        assert_eq!(args.get("ibex").and_then(Value::as_f64), Some(120.25));
+        assert_eq!(args.get("sram").and_then(Value::as_f64), Some(80.0));
+        assert_eq!(counters[1].get("ts").and_then(Value::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn validate_gates_counter_events() {
+        // No args object.
+        assert!(validate(
+            "{\"traceEvents\": [{\"ph\": \"C\", \"name\": \"p\", \"ts\": 1, \"pid\": 1, \"tid\": 0}]}"
+        )
+        .is_err());
+        // Empty args.
+        assert!(validate(
+            "{\"traceEvents\": [{\"ph\": \"C\", \"name\": \"p\", \"ts\": 1, \"pid\": 1, \"tid\": 0, \"args\": {}}]}"
+        )
+        .is_err());
+        // Non-numeric series.
+        assert!(validate(
+            "{\"traceEvents\": [{\"ph\": \"C\", \"name\": \"p\", \"ts\": 1, \"pid\": 1, \"tid\": 0, \"args\": {\"a\": \"x\"}}]}"
+        )
+        .is_err());
+        // Well-formed.
+        assert!(validate(
+            "{\"traceEvents\": [{\"ph\": \"C\", \"name\": \"p\", \"ts\": 1, \"pid\": 1, \"tid\": 0, \"args\": {\"a\": 2.5}}]}"
+        )
+        .is_ok());
     }
 
     #[test]

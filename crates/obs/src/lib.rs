@@ -23,6 +23,11 @@
 //! * [`chrome`] — serializes the simulated-time [`pels_sim::Trace`] and
 //!   the host-time span intervals to Chrome trace-event JSON, loadable
 //!   in Perfetto / `chrome://tracing`.
+//! * [`hist`] — a mergeable log-bucketed [`Histogram`] (exact buckets
+//!   below 64, 16 sub-buckets per octave above, so quantiles carry a
+//!   ≤ 1/16 relative-error bound) plus the [`hist::sparkline`] render —
+//!   the distribution layer behind per-scenario latency histograms and
+//!   the fleet's deterministic cross-job merge.
 //! * [`json`] — the tiny hand-rolled JSON writer/parser the exporters
 //!   and the `obs_check` schema gate share (no serde in the offline
 //!   dependency graph).
@@ -44,10 +49,12 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 
 pub use chrome::ChromeTrace;
+pub use hist::Histogram;
 pub use metrics::{MetricKey, MetricsRegistry, MetricsSnapshot};
 pub use profile::{ProfileReport, SpanEvent, SpanGuard, SpanStats};

@@ -19,6 +19,10 @@
 //!   the paper's published synthesis points (PELS minimal ≈ 7 kGE, Ibex ≈
 //!   27 kGE, PicoRV32 ≈ 14.5 kGE) that reproduces the Figure 6a sweep and
 //!   the Figure 6b PULPissimo breakdown.
+//! * **Time-resolved power** ([`timeline`]): evaluates the model once per
+//!   window of a [`pels_sim::ActivityTimeline`], producing a
+//!   [`PowerTimeline`] of per-component samples over simulated time —
+//!   the Figure 5 bars as curves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +30,11 @@
 pub mod area;
 pub mod calibration;
 pub mod model;
+pub mod timeline;
 pub mod units;
 
 pub use area::{pels_area_kge, pulpissimo_breakdown, AreaBlock, IBEX_KGE, PICORV32_KGE};
 pub use calibration::Calibration;
 pub use model::{ComponentPower, PowerModel, PowerReport};
+pub use timeline::{PowerSample, PowerTimeline};
 pub use units::{Energy, Power};

@@ -1,0 +1,232 @@
+//! Power over simulated time.
+//!
+//! Evaluates a [`PowerModel`] once per [`ActivityTimeline`] window,
+//! turning the whole-run averaged [`PowerReport`](crate::PowerReport)
+//! into a per-component power *curve* — the time-resolved view behind
+//! the paper's Figure 5 comparison. Each sample carries the window's
+//! span in simulated time, the total SoC power, and the per-component
+//! breakdown, ready for counter-track export or a terminal sparkline.
+
+use crate::model::PowerModel;
+use pels_sim::{ActivityTimeline, Frequency, SimTime};
+
+/// Power over one timeline window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSample {
+    /// Window start in simulated time.
+    pub start: SimTime,
+    /// Window end in simulated time (exclusive); always after `start`.
+    pub end: SimTime,
+    /// Total SoC power over the window (components + analog floor), µW.
+    pub total_uw: f64,
+    /// Per-component total power (dynamic + leakage), µW, sorted
+    /// descending — the order [`PowerModel::report`] produces.
+    pub components: Vec<(String, f64)>,
+}
+
+impl PowerSample {
+    /// Window duration.
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// A component's power over this window, µW (0 if absent).
+    pub fn component_uw(&self, name: &str) -> f64 {
+        self.components
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+}
+
+/// A per-window power series derived from an activity timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerTimeline {
+    /// Samples in time order; spans are contiguous and non-overlapping.
+    pub samples: Vec<PowerSample>,
+}
+
+impl PowerTimeline {
+    /// Evaluates `model` over every window of `timeline`, converting
+    /// window cycle spans to simulated time at `clock`'s period.
+    ///
+    /// Windows are evaluated independently, so a quiescence-stretched
+    /// window (long span, little activity) correctly averages down to a
+    /// low power, while a busy nominal-width window shows the peak.
+    pub fn from_activity(
+        model: &PowerModel,
+        timeline: &ActivityTimeline,
+        clock: Frequency,
+    ) -> Self {
+        let samples = timeline
+            .windows
+            .iter()
+            .filter(|w| w.end_cycle > w.start_cycle)
+            .map(|w| {
+                let start = clock.cycles(w.start_cycle);
+                let end = clock.cycles(w.end_cycle);
+                let duration = SimTime::from_ps(end.as_ps() - start.as_ps());
+                let report = model.report(&w.activity, duration);
+                let components = report
+                    .components()
+                    .iter()
+                    .map(|c| (c.name.clone(), c.total().as_uw()))
+                    .collect();
+                PowerSample {
+                    start,
+                    end,
+                    total_uw: report.total().as_uw(),
+                    components,
+                }
+            })
+            .collect();
+        PowerTimeline { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the timeline holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The total-power series, µW — ready for a sparkline.
+    pub fn total_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.total_uw).collect()
+    }
+
+    /// Sorted union of every component name appearing in any sample.
+    pub fn component_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .samples
+            .iter()
+            .flat_map(|s| s.components.iter().map(|(n, _)| n.clone()))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Time-weighted average total power over the whole timeline, µW.
+    pub fn mean_total_uw(&self) -> f64 {
+        let mut energy = 0.0; // µW·ps
+        let mut span = 0.0;
+        for s in &self.samples {
+            let d = (s.end.as_ps() - s.start.as_ps()) as f64;
+            energy += s.total_uw * d;
+            span += d;
+        }
+        if span > 0.0 {
+            energy / span
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Calibration;
+    use pels_sim::{ActivityKind, ActivitySet, ActivityWindow, ComponentId};
+
+    fn model() -> PowerModel {
+        let mut m = PowerModel::new(Calibration::default());
+        m.add_component("ibex", 27.0).add_component("sram", 200.0);
+        m
+    }
+
+    fn busy_window(start: u64, end: u64, reads: u64) -> ActivityWindow {
+        let mut activity = ActivitySet::new();
+        let cycles = end - start;
+        activity.record(
+            ComponentId::intern("ibex"),
+            ActivityKind::ClockCycle,
+            cycles,
+        );
+        activity.record(ComponentId::intern("sram"), ActivityKind::SramRead, reads);
+        ActivityWindow {
+            start_cycle: start,
+            end_cycle: end,
+            activity,
+        }
+    }
+
+    #[test]
+    fn busy_windows_draw_more_than_idle_ones() {
+        let mut t = ActivityTimeline::new(100);
+        t.windows.push(busy_window(0, 100, 500));
+        t.windows.push(ActivityWindow {
+            start_cycle: 100,
+            end_cycle: 200,
+            activity: ActivitySet::new(),
+        });
+        let clock = Frequency::from_mhz(100.0);
+        let pt = PowerTimeline::from_activity(&model(), &t, clock);
+        assert_eq!(pt.len(), 2);
+        assert!(pt.samples[0].total_uw > pt.samples[1].total_uw);
+        // The idle window still pays leakage + the analog floor.
+        assert!(pt.samples[1].total_uw > 0.0);
+        // Window spans convert to simulated time at the clock period.
+        assert_eq!(pt.samples[0].start, SimTime::ZERO);
+        assert_eq!(pt.samples[0].end, clock.cycles(100));
+        assert_eq!(pt.samples[1].end, clock.cycles(200));
+        assert!(pt.samples[0].component_uw("sram") > 0.0);
+        assert_eq!(pt.samples[0].component_uw("nonexistent"), 0.0);
+    }
+
+    #[test]
+    fn quiescence_stretched_window_averages_down() {
+        // Same activity over 10x the span => ~10x less dynamic power.
+        let mut short = ActivityTimeline::new(100);
+        short.windows.push(busy_window(0, 100, 200));
+        let mut long = ActivityTimeline::new(100);
+        long.windows.push({
+            let mut w = busy_window(0, 1000, 200);
+            w.activity = short.windows[0].activity.clone();
+            w
+        });
+        let clock = Frequency::from_mhz(100.0);
+        let m = model();
+        let ps = PowerTimeline::from_activity(&m, &short, clock);
+        let pl = PowerTimeline::from_activity(&m, &long, clock);
+        assert!(ps.samples[0].total_uw > pl.samples[0].total_uw);
+    }
+
+    #[test]
+    fn mean_is_time_weighted() {
+        let mut t = ActivityTimeline::new(100);
+        t.windows.push(busy_window(0, 100, 1000));
+        t.windows.push(ActivityWindow {
+            start_cycle: 100,
+            end_cycle: 1100, // 10x longer idle stretch
+            activity: ActivitySet::new(),
+        });
+        let pt = PowerTimeline::from_activity(&model(), &t, Frequency::from_mhz(100.0));
+        let mean = pt.mean_total_uw();
+        let naive = pt.total_series().iter().sum::<f64>() / 2.0;
+        // The long idle window dominates the weighted mean.
+        assert!(mean < naive);
+        assert!(mean > 0.0);
+        // Degenerate case: no samples.
+        assert_eq!(PowerTimeline::default().mean_total_uw(), 0.0);
+        assert!(PowerTimeline::default().is_empty());
+    }
+
+    #[test]
+    fn component_names_are_sorted_union() {
+        let mut t = ActivityTimeline::new(10);
+        t.windows.push(busy_window(0, 10, 1));
+        let pt = PowerTimeline::from_activity(&model(), &t, Frequency::from_mhz(50.0));
+        let names = pt.component_names();
+        assert!(names.contains(&"ibex".to_string()));
+        assert!(names.contains(&"sram".to_string()));
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -61,6 +61,7 @@ pub mod intern;
 pub mod rng;
 pub mod scheduler;
 pub mod time;
+pub mod timeline;
 pub mod trace;
 pub mod vcd;
 
@@ -74,4 +75,5 @@ pub use intern::ComponentId;
 pub use rng::Rng;
 pub use scheduler::{Edge, Scheduler};
 pub use time::{Frequency, SimTime};
+pub use timeline::{ActivityTimeline, ActivityWindow};
 pub use trace::{Trace, TraceEntry};

@@ -129,19 +129,37 @@ pub struct LinkingStats {
     pub max: u64,
     /// Mean latency (rounded down).
     pub mean: u64,
+    /// Median latency — the rank-`ceil(0.50·count)` sample, exact.
+    pub p50: u64,
+    /// 99th-percentile latency — the rank-`ceil(0.99·count)` sample,
+    /// exact. With the paper's small event counts this usually equals
+    /// `max`; it diverges exactly when the tail does.
+    pub p99: u64,
 }
 
 impl LinkingStats {
     /// Computes stats from raw per-event cycle latencies; `None` on an
     /// empty sample (a run that completed no events has no statistics —
     /// the caller decides whether that is a per-job failure or a bug).
+    ///
+    /// Quantiles are exact (computed from the sorted sample), unlike the
+    /// bounded-error [`pels_obs::Histogram`] the report carries next to
+    /// these stats.
     pub fn from_cycles(latencies: &[u64]) -> Option<Self> {
         let (&min, &max) = (latencies.iter().min()?, latencies.iter().max()?);
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| {
+            let r = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[r - 1]
+        };
         Some(LinkingStats {
             count: latencies.len(),
             min,
             max,
             mean: latencies.iter().sum::<u64>() / latencies.len() as u64,
+            p50: rank(0.50),
+            p99: rank(0.99),
         })
     }
 
@@ -205,6 +223,13 @@ pub struct Scenario {
     /// cannot perturb architectural results (`tests/obs_invariance.rs`
     /// proves obs-on and obs-off runs are bit-identical). Default false.
     pub obs: bool,
+    /// Nominal sampling-window width (in cycles) for the activity
+    /// timeline of the active run; `0` (the default) disables sampling.
+    /// Sampling is passive — windows close at run-loop observation
+    /// points, never inside a quiescence skip — so every architectural
+    /// result is bit-identical with sampling on or off
+    /// (`tests/obs_invariance.rs`).
+    pub timeline_window: u64,
 }
 
 /// Chained, validating constructor for [`Scenario`] — the canonical
@@ -250,6 +275,7 @@ impl Default for ScenarioBuilder {
                 arbiter: ArbiterKind::RoundRobin,
                 force_naive: false,
                 obs: false,
+                timeline_window: 0,
             },
         }
     }
@@ -369,6 +395,14 @@ impl ScenarioBuilder {
     /// [`Scenario::obs`]).
     pub fn obs(mut self, obs: bool) -> Self {
         self.draft.obs = obs;
+        self
+    }
+
+    /// Samples a windowed activity timeline of the active run with the
+    /// given nominal window width in cycles; `0` disables sampling (see
+    /// [`Scenario::timeline_window`]).
+    pub fn timeline_window(mut self, window_cycles: u64) -> Self {
+        self.draft.timeline_window = window_cycles;
         self
     }
 
@@ -596,6 +630,12 @@ impl Scenario {
     pub fn try_run(&self) -> Result<ScenarioReport, ScenarioError> {
         // Active window.
         let mut soc = self.build_soc();
+        // Start sampling before the timer is armed so the first window
+        // covers the arming writes too: the window deltas then sum to
+        // exactly the drained activity image of the whole active run.
+        if self.timeline_window > 0 {
+            soc.start_timeline(self.timeline_window);
+        }
         Self::arm_timer(&mut soc, self.timer_period_cycles());
         let per_event = u64::from(self.timer_period_cycles())
             + u64::from(self.spi_words * self.spi_clkdiv)
@@ -619,6 +659,9 @@ impl Scenario {
             soc.publish_metrics(&mut reg);
             reg.snapshot()
         });
+        // Collect the timeline before the drain: the sampler's deltas
+        // are relative to the cumulative image the drain resets.
+        let timeline = soc.take_timeline();
         let activity = soc.drain_activity();
         // Re-arm the µDMA channel is unnecessary for measurement; events
         // beyond the first reuse the FIFO path, which is equivalent for
@@ -634,6 +677,10 @@ impl Scenario {
             mediator: self.mediator,
             budget,
         })?;
+        let mut latency_hist = pels_obs::Histogram::new();
+        for &l in &latencies {
+            latency_hist.record(l);
+        }
         let events_completed = soc.trace().all(marker.0, marker.1).len() as u32;
 
         // Idle window: identical configuration, timer disarmed, same
@@ -651,6 +698,8 @@ impl Scenario {
             freq: self.freq,
             latencies,
             stats,
+            latency_hist,
+            timeline,
             events_completed,
             active_activity: activity,
             active_window: window,
@@ -689,6 +738,13 @@ pub struct ScenarioReport {
     pub latencies: Vec<u64>,
     /// Latency statistics.
     pub stats: LinkingStats,
+    /// The same per-event latencies as a mergeable distribution — the
+    /// fleet merges these across jobs deterministically (bucket counts
+    /// add, order-invariant).
+    pub latency_hist: pels_obs::Histogram,
+    /// Windowed activity timeline of the active run — `Some` only when
+    /// the scenario was built with [`ScenarioBuilder::timeline_window`].
+    pub timeline: Option<pels_sim::ActivityTimeline>,
     /// Linking events completed.
     pub events_completed: u32,
     /// Switching activity of the active window.
@@ -731,6 +787,15 @@ impl ScenarioReport {
         model.report(&self.idle_activity, self.idle_window)
     }
 
+    /// Per-window power over the active run — `Some` only when the
+    /// scenario sampled a timeline
+    /// ([`ScenarioBuilder::timeline_window`]).
+    pub fn power_timeline(&self, model: &PowerModel) -> Option<pels_power::PowerTimeline> {
+        self.timeline
+            .as_ref()
+            .map(|t| pels_power::PowerTimeline::from_activity(model, t, self.freq))
+    }
+
     /// Mean latency as wall-clock time (for the 500 ns iso-latency
     /// check).
     pub fn mean_latency_time(&self) -> SimTime {
@@ -757,11 +822,13 @@ impl ScenarioReport {
         let _ = writeln!(
             s,
             "  \"latency_cycles\": {{\"count\": {}, \"min\": {}, \"max\": {}, \
-             \"mean\": {}, \"jitter\": {}}},",
+             \"mean\": {}, \"p50\": {}, \"p99\": {}, \"jitter\": {}}},",
             self.stats.count,
             self.stats.min,
             self.stats.max,
             self.stats.mean,
+            self.stats.p50,
+            self.stats.p99,
             self.stats.jitter()
         );
         let _ = writeln!(s, "  \"active_window_ns\": {},", self.active_window.as_ns());

@@ -13,7 +13,10 @@ use pels_periph::{
     Adc, Gpio, I2c, IdleHint, L2Memory, PeriphCtx, Peripheral, SensorDevice, Spi, Timer, Uart,
     Watchdog,
 };
-use pels_sim::{ActivityKind, ActivitySet, ComponentId, EventVector, Frequency, SimTime, Trace};
+use pels_sim::{
+    ActivityKind, ActivitySet, ActivityTimeline, ActivityWindow, ComponentId, EventVector,
+    Frequency, SimTime, Trace,
+};
 use std::fmt;
 
 /// The synthetic analog source behind the SPI/ADC front-ends.
@@ -392,8 +395,34 @@ impl SocBuilder {
             },
             naive_ticking: false,
             clock_ids,
+            sampler: None,
         }
     }
+}
+
+/// State of the passive windowed activity sampler (see
+/// [`Soc::start_timeline`]).
+///
+/// The sampler never changes how the SoC advances: it only *reads* the
+/// cumulative activity image at observation points the run loops already
+/// pass through, so obs-off and timeline-on runs are bit-identical in
+/// every architectural result (`tests/obs_invariance.rs`).
+struct TimelineSampler {
+    /// Nominal window width in cycles.
+    window_cycles: u64,
+    /// Cycle at which the current window opened.
+    window_start: u64,
+    /// First cycle at or past which the current window closes. Checked
+    /// (never enforced) at run-loop observation points, so a quiescence
+    /// skip crossing the boundary stretches the window instead of being
+    /// split — `try_skip` and `SchedStats` stay untouched.
+    next_boundary: u64,
+    /// Cumulative activity image at window start (components flushed).
+    baseline: ActivitySet,
+    /// `cpu_awake_cycles` at window start (for the gated-clock share).
+    baseline_awake: u64,
+    /// Windows captured so far.
+    timeline: ActivityTimeline,
 }
 
 /// Pre-interned component ids used on the per-drain clock-accounting
@@ -554,6 +583,9 @@ pub struct Soc {
     /// the differential property test compares against).
     naive_ticking: bool,
     clock_ids: ClockIds,
+    /// Windowed activity sampler; `None` (the default) keeps every run
+    /// loop's sampling cost at a single predictable branch.
+    sampler: Option<Box<TimelineSampler>>,
 }
 
 impl std::fmt::Debug for Soc {
@@ -977,6 +1009,7 @@ impl Soc {
     pub fn step(&mut self) {
         self.step_inner();
         self.sync_slaves();
+        self.timeline_tick();
     }
 
     fn step_inner(&mut self) {
@@ -1230,6 +1263,7 @@ impl Soc {
             } else {
                 done += skipped;
             }
+            self.timeline_tick();
         }
         self.sync_slaves();
     }
@@ -1248,6 +1282,7 @@ impl Soc {
                 return true;
             }
             self.step_inner();
+            self.timeline_tick();
         }
         self.sync_slaves();
         pred(self)
@@ -1291,6 +1326,7 @@ impl Soc {
             if self.try_skip(end - self.cycle) == 0 {
                 self.step_inner();
             }
+            self.timeline_tick();
         }
     }
 
@@ -1300,6 +1336,27 @@ impl Soc {
     /// since the previous drain. Resets the window.
     pub fn drain_activity(&mut self) -> ActivitySet {
         self.sync_slaves();
+        self.flush_component_activity();
+        let mut set = std::mem::take(&mut self.activity);
+
+        // Clock accounting: the core clock is gated during WFI sleep; the
+        // rest of the SoC clocks every cycle of the window.
+        let cycles = self.window_cycles;
+        Self::record_clock_activity(&mut set, &self.clock_ids, cycles, self.cpu_awake_cycles);
+        self.cpu_awake_cycles = 0;
+        self.window_cycles = 0;
+        set
+    }
+
+    /// Flushes every component's internal activity counters into the
+    /// SoC's cumulative [`ActivitySet`]. Counters add, so flushing at any
+    /// intermediate point leaves the eventual [`Soc::drain_activity`]
+    /// result bit-identical — this is what lets the timeline sampler read
+    /// a current image mid-run without perturbing the final drain. Clock
+    /// accounting (`window_cycles` / `cpu_awake_cycles`) is deliberately
+    /// untouched: it is derived, not accumulated, and the per-drain
+    /// integer division (`cycles / 10`) must see the whole window.
+    fn flush_component_activity(&mut self) {
         let mut set = std::mem::take(&mut self.activity);
         self.cpu.drain_activity(&mut set);
         self.pels.drain_activity(&mut set);
@@ -1308,18 +1365,19 @@ impl Soc {
         for (_, p) in self.fabric.slaves_mut() {
             p.drain_activity(&mut set);
         }
+        self.activity = set;
+    }
 
-        // Clock accounting: the core clock is gated during WFI sleep; the
-        // rest of the SoC clocks every cycle of the window.
-        let cycles = self.window_cycles;
-        let ids = &self.clock_ids;
-        set.record(ids.ibex, ActivityKind::ClockCycle, self.cpu_awake_cycles);
+    /// Adds the per-window clock-cycle accounting to an activity set:
+    /// the core clock is gated during WFI sleep (`awake` cycles), the
+    /// fabric/PELS/links clock every cycle, and idle-gated peripherals
+    /// keep a ~10 % residual for gating logic and sampling flops. Busy
+    /// peripheral cycles are charged separately via their `ActiveCycle`
+    /// records.
+    fn record_clock_activity(set: &mut ActivitySet, ids: &ClockIds, cycles: u64, awake: u64) {
+        set.record(ids.ibex, ActivityKind::ClockCycle, awake);
         set.record(ids.fabric, ActivityKind::ClockCycle, cycles);
         set.record(ids.soc_ctrl, ActivityKind::ClockCycle, cycles);
-        // PULPissimo clock-gates idle peripherals (architectural gating in
-        // the uDMA subsystem); a ~10% residual covers the gating logic and
-        // always-on sampling flops. Busy cycles are charged separately via
-        // each peripheral's ActiveCycle records.
         set.record(ids.periph_misc, ActivityKind::ClockCycle, cycles / 10);
         for &id in &ids.periphs {
             set.record(id, ActivityKind::ClockCycle, cycles / 10);
@@ -1328,9 +1386,90 @@ impl Soc {
         for &link in &ids.links {
             set.record(link, ActivityKind::ClockCycle, cycles);
         }
-        self.cpu_awake_cycles = 0;
-        self.window_cycles = 0;
-        set
+    }
+
+    /// Starts windowed activity sampling with a nominal window width of
+    /// `window_cycles` bus cycles. Subsequent `run_*` calls close a
+    /// window at the first observation point at or past each boundary;
+    /// a quiescence skip crossing a boundary stretches the window
+    /// rather than splitting the skip, so the fast path stays O(1) and
+    /// scheduler statistics are bit-identical to an unsampled run.
+    ///
+    /// The first window additionally absorbs any activity accumulated
+    /// since the last [`Soc::drain_activity`] (e.g. configuration
+    /// writes during construction), so the window deltas always sum to
+    /// exactly the image the next drain returns — the timeline is a
+    /// partition of the drain, not a second bookkeeping domain.
+    /// Restarting discards any timeline not yet collected with
+    /// [`Soc::take_timeline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is zero.
+    pub fn start_timeline(&mut self, window_cycles: u64) {
+        assert!(window_cycles > 0, "window_cycles must be non-zero");
+        self.sampler = Some(Box::new(TimelineSampler {
+            window_cycles,
+            window_start: self.cycle,
+            next_boundary: self.cycle + window_cycles,
+            baseline: ActivitySet::new(),
+            baseline_awake: 0,
+            timeline: ActivityTimeline::new(window_cycles),
+        }));
+    }
+
+    /// Stops sampling and returns the captured timeline (closing the
+    /// final partial window if it spans at least one cycle), or `None`
+    /// if [`Soc::start_timeline`] was never called.
+    pub fn take_timeline(&mut self) -> Option<ActivityTimeline> {
+        let open = self
+            .sampler
+            .as_ref()
+            .map(|s| self.cycle > s.window_start)?;
+        if open {
+            self.close_timeline_window();
+        }
+        self.sampler.take().map(|s| s.timeline)
+    }
+
+    /// Sampling hook on the run-loop observation points: one predictable
+    /// branch when sampling is off.
+    #[inline]
+    fn timeline_tick(&mut self) {
+        if let Some(s) = &self.sampler {
+            if self.cycle >= s.next_boundary {
+                self.close_timeline_window();
+            }
+        }
+    }
+
+    /// Closes the current sampling window at the present cycle: brings
+    /// sleeping slaves up to date (closed-form catch-up — segmentation
+    /// invariant, so extra syncs cannot change results), flushes
+    /// component counters, and records the delta since the window's
+    /// baseline plus the window's share of the clock accounting. The
+    /// clock share is added to the *delta copy only*; the cumulative set
+    /// and the drain counters stay untouched.
+    fn close_timeline_window(&mut self) {
+        self.sync_slaves();
+        self.flush_component_activity();
+        let Some(mut s) = self.sampler.take() else {
+            return;
+        };
+        let mut delta = self.activity.delta_from(&s.baseline);
+        let cycles = self.cycle - s.window_start;
+        let awake = self.cpu_awake_cycles.saturating_sub(s.baseline_awake);
+        Self::record_clock_activity(&mut delta, &self.clock_ids, cycles, awake);
+        s.timeline.windows.push(ActivityWindow {
+            start_cycle: s.window_start,
+            end_cycle: self.cycle,
+            activity: delta,
+        });
+        s.window_start = self.cycle;
+        s.next_boundary = self.cycle + s.window_cycles;
+        s.baseline = self.activity.clone();
+        s.baseline_awake = self.cpu_awake_cycles;
+        self.sampler = Some(s);
     }
 
     /// Cycles elapsed since the last [`Soc::drain_activity`].

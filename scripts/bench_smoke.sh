@@ -25,12 +25,18 @@ echo "bench_smoke: fleet OK"
 
 # Observability gate: regenerate the OBS artifacts with the profiler on,
 # then schema-check them — the reference counters (decode cache,
-# scheduler, fleet workers) must be present and nonzero, and the Chrome
-# trace must be well-formed trace-event JSON. Drift in either exporter
-# fails here instead of shipping broken artifacts.
+# scheduler, fleet workers) must be present and nonzero, the Chrome
+# trace must be well-formed trace-event JSON with power counter tracks,
+# and the power timeline must have contiguous non-negative windows.
+# Drift in any exporter fails here instead of shipping broken artifacts.
 cargo run -q --release -p pels-bench --bin reproduce -- sim_throughput --obs > /dev/null
 cargo run -q --release -p pels-bench --bin obs_check
 echo "bench_smoke: obs artifacts OK"
 
 cargo clippy --workspace --all-targets -q -- -D warnings
 echo "bench_smoke: clippy OK"
+
+# Rustdoc gate: broken intra-doc links or malformed doc examples fail
+# the pass — the API docs are part of the reproduction artifact.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+echo "bench_smoke: rustdoc OK"

@@ -55,6 +55,86 @@ fn span_profiler_enable_never_perturbs_results() {
 }
 
 #[test]
+fn timeline_sampling_never_perturbs_any_mediator() {
+    for mediator in [
+        Mediator::PelsSequenced,
+        Mediator::PelsInstant,
+        Mediator::IbexIrq,
+    ] {
+        let base = Scenario::iso_frequency(mediator);
+        let plain = base.run();
+        // Maximum time resolution: a window boundary is crossed on nearly
+        // every cycle, so every observation point in the run loops closes
+        // a window. A coarser window exercises the skip-stretch path.
+        for window in [1, 64, 4096] {
+            let sampled = base
+                .to_builder()
+                .timeline_window(window)
+                .build()
+                .unwrap()
+                .run();
+            assert!(plain.timeline.is_none(), "timelines are opt-in");
+            let timeline = sampled.timeline.as_ref().expect("sampled timeline");
+            assert!(!timeline.windows.is_empty());
+            assert_eq!(timeline.window_cycles, window);
+            // The windows partition the run: contiguous, in order, and
+            // their activity sums to exactly the full-run image.
+            let mut prev_end = 0;
+            for w in &timeline.windows {
+                assert_eq!(w.start_cycle, prev_end, "windows are contiguous");
+                assert!(w.end_cycle > w.start_cycle);
+                prev_end = w.end_cycle;
+            }
+            // Window deltas sum to the drained active image: exact for
+            // every event counter; clock rows with integer gating
+            // residuals (`cycles / 10`) may round down per window, so
+            // only the ungated fabric clock is compared exactly.
+            let total = timeline.total_activity();
+            let mut summed = pels_sim::ActivitySet::new();
+            let mut drained = pels_sim::ActivitySet::new();
+            for (name, kind, n) in total.iter() {
+                if kind != pels_sim::ActivityKind::ClockCycle {
+                    summed.record_named(name, kind, n);
+                }
+            }
+            for (name, kind, n) in sampled.active_activity.iter() {
+                if kind != pels_sim::ActivityKind::ClockCycle {
+                    drained.record_named(name, kind, n);
+                }
+            }
+            assert_eq!(summed, drained, "window deltas sum to the drained image");
+            assert_eq!(
+                total.count("fabric", pels_sim::ActivityKind::ClockCycle),
+                sampled
+                    .active_activity
+                    .count("fabric", pels_sim::ActivityKind::ClockCycle),
+                "ungated clock rows sum exactly"
+            );
+            assert_reports_identical(&plain, &sampled);
+        }
+    }
+}
+
+#[test]
+fn fleet_digest_is_invariant_under_timeline_sampling() {
+    let mediators = [Mediator::PelsSequenced, Mediator::IbexIrq];
+    let plain = FleetEngine::new(1)
+        .run_sweep(&SweepSpec::new().mediators(&mediators))
+        .unwrap();
+    let sampled = FleetEngine::new(2)
+        .run_sweep(
+            &SweepSpec::new()
+                .mediators(&mediators)
+                .obs(true)
+                .timeline_window(128),
+        )
+        .unwrap();
+    // Timeline sampling is passive observation: the digest hashes every
+    // simulation-derived field of every job and must not move.
+    assert_eq!(plain.digest(), sampled.digest());
+}
+
+#[test]
 fn fleet_digest_is_invariant_under_obs_and_worker_count() {
     let mediators = [Mediator::PelsSequenced, Mediator::IbexIrq];
     let plain = FleetEngine::new(1)
