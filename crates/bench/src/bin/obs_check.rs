@@ -33,6 +33,38 @@ const NONZERO_KEYS: &[&str] = &[
     "fleet.worker0.jobs",
 ];
 
+/// Every counter the CPU and scheduler publishers may emit, by exact
+/// name — the schema side of `Cpu::publish_metrics` and
+/// `Soc::publish_metrics`. A `cpu.`- or `soc.sched.`-prefixed key in the
+/// snapshot that is not listed here fails the gate: that is how producer
+/// renames and silent additions get caught as drift instead of shipping
+/// two names for one counter. Extend this list in the same change that
+/// adds or renames a published counter.
+const KNOWN_CPU_SCHED_KEYS: &[&str] = &[
+    "cpu.cycles",
+    "cpu.retired",
+    "cpu.fetches",
+    "cpu.decode_cache.hits",
+    "cpu.decode_cache.misses",
+    "cpu.irq.entries",
+    "cpu.irq.overhead_cycles",
+    "cpu.sleep_cycles",
+    "cpu.stall_cycles",
+    "cpu.superblock.blocks_built",
+    "cpu.superblock.runs",
+    "cpu.superblock.instrs",
+    "cpu.superblock.cycles",
+    "cpu.superblock.verify_aborts",
+    "soc.sched.fast_cycles",
+    "soc.sched.stirred_cycles",
+    "soc.sched.naive_cycles",
+    "soc.sched.skip_spans",
+    "soc.sched.skipped_cycles",
+    "soc.sched.rebuilds",
+    "soc.sched.wakes",
+    "soc.sched.sleeps",
+];
+
 fn check_metrics(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -46,6 +78,15 @@ fn check_metrics(path: &str) -> Result<(), String> {
         value
             .as_u64()
             .ok_or_else(|| format!("{path}: `{key}` is not a non-negative integer"))?;
+        if (key.starts_with("cpu.") || key.starts_with("soc.sched."))
+            && !KNOWN_CPU_SCHED_KEYS.contains(&key.as_str())
+        {
+            return Err(format!(
+                "{path}: counter `{key}` is not in the published schema — \
+                 a producer renamed or added a `cpu.`/`soc.sched.` counter \
+                 without updating KNOWN_CPU_SCHED_KEYS"
+            ));
+        }
     }
     for key in NONZERO_KEYS {
         match doc.get(key).and_then(Value::as_u64) {

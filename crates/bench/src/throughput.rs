@@ -13,15 +13,26 @@
 //!   scenario (events actually flow through trigger/exec every period).
 //! * **IRQ baseline** — the same scenario mediated by Ibex interrupts
 //!   (CPU wake/sleep traffic every event).
+//! * **busy linking workload** — a PELS link fires while the CPU crunches
+//!   a straight-line kernel that never sleeps: the workload superblock
+//!   execution accelerates. Measured with superblocks on and with the
+//!   CPU forced to single-step, so the superblock speedup itself is a
+//!   tracked number (`linking_superblock_speedup`).
 
 use crate::harness::{fmt_rate, Bench};
 use pels_sim::Frequency;
 use pels_soc::{Mediator, Scenario, SocBuilder};
 use pels_cpu::asm;
+use pels_interconnect::ApbSlave as _;
+use pels_periph::Timer;
+use pels_soc::event_map::{AL_GPIO_TOGGLE, EV_TIMER_CMP};
 use pels_soc::mem_map::RESET_PC;
 
 /// Simulated cycles per idle-SoC measurement iteration.
 pub const IDLE_CYCLES: u64 = 200_000;
+
+/// Simulated cycles per busy-linking measurement iteration.
+pub const SUPERBLOCK_CYCLES: u64 = 200_000;
 
 /// One measured workload.
 #[derive(Debug, Clone)]
@@ -39,6 +50,62 @@ fn idle_soc(naive: bool) -> pels_soc::Soc {
     soc.set_naive_scheduling(naive);
     soc.trace_mut().set_enabled(false);
     soc.load_program(RESET_PC, &[asm::wfi(), asm::jal(0, -4)]);
+    soc
+}
+
+/// A PELS link toggles a GPIO on every timer compare while the CPU
+/// crunches a straight-line ALU kernel — peripheral events keep flowing,
+/// but the CPU never sleeps, so host throughput is bound by instruction
+/// execution rather than by whole-SoC skips.
+pub fn busy_linking_soc(single_step: bool) -> pels_soc::Soc {
+    let mut soc = SocBuilder::new().build();
+    soc.trace_mut().set_enabled(false);
+    soc.pels_mut()
+        .link_mut(0)
+        .set_mask(pels_sim::EventVector::mask_of(&[EV_TIMER_CMP]));
+    soc.pels_mut()
+        .link_mut(0)
+        .load_program(
+            &pels_core::Program::new(vec![
+                pels_core::Command::Action {
+                    mode: pels_core::ActionMode::Toggle,
+                    group: 0,
+                    mask: 1 << (AL_GPIO_TOGGLE - 16),
+                },
+                pels_core::Command::Halt,
+            ])
+            .expect("valid"),
+        )
+        .expect("fits");
+    // A 14-deep chain of register-only ALU ops closed by a jump: one
+    // sealed superblock covering the whole loop body.
+    soc.load_program(
+        RESET_PC,
+        &[
+            asm::addi(1, 1, 1),
+            asm::add(2, 2, 1),
+            asm::xor(3, 3, 1),
+            asm::addi(4, 4, 3),
+            asm::add(5, 5, 2),
+            asm::addi(6, 6, 1),
+            asm::add(7, 7, 6),
+            asm::xor(8, 8, 7),
+            asm::addi(9, 9, 2),
+            asm::add(10, 10, 9),
+            asm::addi(11, 11, 1),
+            asm::add(12, 12, 11),
+            asm::xor(13, 13, 12),
+            asm::add(14, 14, 13),
+            asm::jal(0, -56),
+        ],
+    );
+    soc.timer_mut().write(Timer::CMP, 64).unwrap();
+    soc.timer_mut()
+        .write(Timer::CTRL, Timer::CTRL_ENABLE)
+        .unwrap();
+    if single_step {
+        soc.cpu_mut().set_superblocks_enabled(false);
+    }
     soc
 }
 
@@ -89,17 +156,44 @@ pub fn measure(samples: usize) -> Vec<ThroughputRow> {
             cycles_per_sec: rate,
         });
     }
+
+    // The busy-CPU linking workload, with superblock execution on and
+    // with the CPU forced to single-step (everything else identical).
+    for (name, single_step) in [
+        ("linking_superblock", false),
+        ("linking_superblock_single_step", true),
+    ] {
+        let rate = bench.run_throughput(name, SUPERBLOCK_CYCLES, || {
+            let mut soc = busy_linking_soc(single_step);
+            soc.run(SUPERBLOCK_CYCLES);
+            soc.cycle()
+        });
+        rows.push(ThroughputRow {
+            name,
+            cycles: SUPERBLOCK_CYCLES,
+            cycles_per_sec: rate,
+        });
+    }
     rows
+}
+
+/// The speedup of row `fast` over row `reference`.
+pub fn speedup_vs(rows: &[ThroughputRow], fast: &str, reference: &str) -> Option<f64> {
+    let fast = rows.iter().find(|r| r.name == fast)?;
+    let reference = rows.iter().find(|r| r.name == reference)?;
+    Some(fast.cycles_per_sec / reference.cycles_per_sec)
 }
 
 /// The fast-over-naive speedup for workload `name` (its reference row is
 /// `<name>_naive`).
 pub fn speedup_of(rows: &[ThroughputRow], name: &str) -> Option<f64> {
-    let fast = rows.iter().find(|r| r.name == name)?;
-    let naive = rows
-        .iter()
-        .find(|r| r.name.strip_suffix("_naive") == Some(name))?;
-    Some(fast.cycles_per_sec / naive.cycles_per_sec)
+    speedup_vs(rows, name, &format!("{name}_naive"))
+}
+
+/// The superblock-execution speedup on the busy linking workload (its
+/// reference row retires one instruction per scheduler visit).
+pub fn superblock_speedup(rows: &[ThroughputRow]) -> Option<f64> {
+    speedup_vs(rows, "linking_superblock", "linking_superblock_single_step")
 }
 
 /// The idle-path speedup (fast over naive) from a measured row set.
@@ -128,6 +222,11 @@ pub fn render(rows: &[ThroughputRow]) -> String {
     }
     if let Some(x) = speedup_of(rows, "irq_baseline") {
         s.push_str(&format!("  active-path speedup (irq baseline): {x:.1}x\n"));
+    }
+    if let Some(x) = superblock_speedup(rows) {
+        s.push_str(&format!(
+            "  superblock speedup (busy linking workload): {x:.1}x\n"
+        ));
     }
     s
 }
@@ -198,6 +297,9 @@ pub fn merge_json(rows: &[ThroughputRow], existing: Option<&str>) -> String {
     }
     if let Some(x) = speedup_of(rows, "irq_baseline") {
         updates.push(("irq_speedup".into(), format!("{x:.2}")));
+    }
+    if let Some(x) = superblock_speedup(rows) {
+        updates.push(("linking_superblock_speedup".into(), format!("{x:.2}")));
     }
     updates.push(("idle_cycles_per_iter".into(), IDLE_CYCLES.to_string()));
     updates.push(("schema_version".into(), SCHEMA_VERSION.to_string()));
@@ -288,6 +390,44 @@ mod tests {
             assert!(j.contains("\"idle_soc_cycles_per_sec\": 2000000.0"));
             assert!(j.ends_with("}\n"));
         }
+    }
+
+    #[test]
+    fn superblock_pair_serializes_its_speedup() {
+        let rows = vec![
+            ThroughputRow {
+                name: "linking_superblock",
+                cycles: 10,
+                cycles_per_sec: 9e7,
+            },
+            ThroughputRow {
+                name: "linking_superblock_single_step",
+                cycles: 10,
+                cycles_per_sec: 3e7,
+            },
+        ];
+        assert_eq!(superblock_speedup(&rows), Some(3.0));
+        let j = to_json(&rows);
+        assert!(j.contains("\"linking_superblock_speedup\": 3.00"));
+        // The single-step row is a reference, never paired as `_naive`.
+        assert!(speedup_of(&rows, "linking_superblock").is_none());
+    }
+
+    #[test]
+    fn busy_linking_workloads_simulate_identically() {
+        // The measurement must time identical simulations: same final
+        // cycle, retirement and GPIO traffic in both execution modes —
+        // and the fast side must actually run superblocks.
+        let mut fast = busy_linking_soc(false);
+        let mut single = busy_linking_soc(true);
+        fast.run(2_000);
+        single.run(2_000);
+        assert_eq!(fast.cycle(), single.cycle());
+        assert_eq!(fast.cpu().cycles(), single.cpu().cycles());
+        assert_eq!(fast.cpu().retired(), single.cpu().retired());
+        assert_eq!(fast.drain_activity(), single.drain_activity());
+        assert!(fast.superblock_stats().block_runs > 0);
+        assert_eq!(single.superblock_stats().block_runs, 0);
     }
 
     #[test]

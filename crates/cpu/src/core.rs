@@ -73,6 +73,102 @@ const INVALID_LINE: DecodedLine = DecodedLine {
     instr: Instr::Fence,
 };
 
+/// Entries in the direct-mapped superblock cache, indexed by the block's
+/// start pc bits `[1..]`.
+const SUPERBLOCK_ENTRIES: usize = 64;
+
+/// Maximum instructions chained into one superblock.
+const SUPERBLOCK_MAX_LEN: usize = 32;
+
+/// One decoded instruction inside a superblock: the decode plus the raw
+/// bits it came from, re-verified against a fresh fetch on every block
+/// execution (the same stale-decode defence as [`DecodedLine`]).
+#[derive(Debug, Clone, Copy)]
+struct BlockStep {
+    pc: u32,
+    raw: u32,
+    size: u32,
+    instr: Instr,
+}
+
+const INVALID_STEP: BlockStep = BlockStep {
+    pc: 1,
+    raw: 0,
+    size: 0,
+    instr: Instr::Fence,
+};
+
+/// One superblock cache line: up to [`SUPERBLOCK_MAX_LEN`] consecutive
+/// decoded instructions starting at `start`. As with the decode cache,
+/// an odd `start` can never match a real pc and marks the line invalid.
+#[derive(Debug, Clone, Copy)]
+struct BlockLine {
+    start: u32,
+    len: u32,
+    steps: [BlockStep; SUPERBLOCK_MAX_LEN],
+}
+
+const INVALID_BLOCK: BlockLine = BlockLine {
+    start: 1,
+    len: 0,
+    steps: [INVALID_STEP; SUPERBLOCK_MAX_LEN],
+};
+
+/// In-progress superblock accumulator, grown as a side effect of
+/// single-step execution (so chaining costs no extra fetches or decodes).
+#[derive(Debug)]
+struct BlockChain {
+    start: u32,
+    next_pc: u32,
+    len: u32,
+    steps: [BlockStep; SUPERBLOCK_MAX_LEN],
+}
+
+/// How an instruction participates in superblock chaining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepClass {
+    /// Register-only: chains, and the block continues past it.
+    Chain,
+    /// Branch/jump: executes inside a block but terminates it.
+    Close,
+    /// Bus access, CSR/system, `fence`, or trap-capable: never enters a
+    /// block; the chain ends just before it.
+    Break,
+}
+
+fn classify(instr: &Instr) -> StepClass {
+    match instr {
+        Instr::Lui { .. }
+        | Instr::Auipc { .. }
+        | Instr::AluImm { .. }
+        | Instr::Alu { .. }
+        | Instr::MulDiv { .. } => StepClass::Chain,
+        Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. } => StepClass::Close,
+        _ => StepClass::Break,
+    }
+}
+
+/// Cumulative superblock-layer counters (see [`Cpu::superblock_stats`]).
+///
+/// Like the decode-cache hit/miss counts, these describe the *host-side
+/// accelerator*, not the modelled hardware — they legitimately differ
+/// between superblock and single-step runs of the same workload, so
+/// differential tests must not compare them across modes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SuperblockStats {
+    /// Blocks sealed into the block cache.
+    pub blocks_built: u64,
+    /// Block-cache entries executed by [`Cpu::run_block`].
+    pub block_runs: u64,
+    /// Instructions retired from inside blocks.
+    pub block_instrs: u64,
+    /// Cycles billed in bulk by [`Cpu::run_block`].
+    pub block_cycles: u64,
+    /// Raw-bits re-verification failures (self-modified code caught at
+    /// block execution time).
+    pub verify_aborts: u64,
+}
+
 /// The Ibex-class RV32IM core.
 ///
 /// Drive it with one [`Cpu::tick`] per clock cycle, passing the sampled
@@ -101,6 +197,21 @@ pub struct Cpu {
     dcache_enabled: bool,
     dcache_hits: u64,
     dcache_misses: u64,
+    /// Direct-mapped superblock cache: chains of decoded instructions
+    /// executed and billed in bulk by [`Cpu::run_block`]. Like the decode
+    /// cache, purely a host-side accelerator — every step re-verifies its
+    /// raw bits against a fresh fetch, so execution is bit-identical with
+    /// blocks on or off.
+    blocks: Box<[BlockLine; SUPERBLOCK_ENTRIES]>,
+    /// Superblock under construction (grown during single-step execution).
+    chain: Box<BlockChain>,
+    sb_enabled: bool,
+    sb: SuperblockStats,
+    /// A fetch completed by `run_block`'s verify step whose instruction
+    /// could not execute inside the block (the raw bits were stale):
+    /// `(pc, raw, size)` handed to the next `fetch_decode` so the fetch
+    /// traffic already paid is not paid again.
+    handoff: Option<(u32, u32, u32)>,
     // Statistics / activity.
     cycles: u64,
     retired: u64,
@@ -134,6 +245,16 @@ impl Cpu {
             dcache_enabled: true,
             dcache_hits: 0,
             dcache_misses: 0,
+            blocks: Box::new([INVALID_BLOCK; SUPERBLOCK_ENTRIES]),
+            chain: Box::new(BlockChain {
+                start: 1,
+                next_pc: 1,
+                len: 0,
+                steps: [INVALID_STEP; SUPERBLOCK_MAX_LEN],
+            }),
+            sb_enabled: true,
+            sb: SuperblockStats::default(),
+            handoff: None,
             cycles: 0,
             retired: 0,
             fetches: 0,
@@ -221,8 +342,35 @@ impl Cpu {
     }
 
     /// Decoded-instruction cache `(hits, misses)` since reset/disable.
+    /// Block-level counters for the superblock layer built on top of the
+    /// cache live in [`Cpu::superblock_stats`].
     pub fn decode_cache_stats(&self) -> (u64, u64) {
         (self.dcache_hits, self.dcache_misses)
+    }
+
+    /// Enables or disables superblock execution ([`Cpu::run_block`]).
+    /// Like the decode cache, superblocks are a host-side accelerator
+    /// only — both settings execute bit-identically (same fetch counts,
+    /// timing and architectural effects); the differential suites in
+    /// `tests/active_path.rs` and `crates/cpu/tests/decode_cache.rs` run
+    /// the same workloads under both to prove it. Disabling also flushes
+    /// the block cache and clears the statistics.
+    pub fn set_superblocks_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.flush_superblocks();
+            self.sb = SuperblockStats::default();
+        }
+        self.sb_enabled = enabled;
+    }
+
+    /// Whether superblock execution is active.
+    pub fn superblocks_enabled(&self) -> bool {
+        self.sb_enabled
+    }
+
+    /// Cumulative superblock counters since reset/disable.
+    pub fn superblock_stats(&self) -> SuperblockStats {
+        self.sb
     }
 
     /// Publishes the core's cumulative counters into an observability
@@ -238,13 +386,28 @@ impl Cpu {
         reg.set_named("cpu.irq.overhead_cycles", self.irq_overhead_cycles);
         reg.set_named("cpu.sleep_cycles", self.sleep_cycles);
         reg.set_named("cpu.stall_cycles", self.stall_cycles);
+        reg.set_named("cpu.superblock.blocks_built", self.sb.blocks_built);
+        reg.set_named("cpu.superblock.runs", self.sb.block_runs);
+        reg.set_named("cpu.superblock.instrs", self.sb.block_instrs);
+        reg.set_named("cpu.superblock.cycles", self.sb.block_cycles);
+        reg.set_named("cpu.superblock.verify_aborts", self.sb.verify_aborts);
     }
 
-    /// Invalidates every decoded-instruction cache line (the `fence.i`
-    /// path; stores need no invalidation because hits re-verify the raw
-    /// instruction bits).
+    /// Invalidates every decoded-instruction cache line and superblock
+    /// (the `fence.i` path; stores need no invalidation because hits and
+    /// block steps re-verify the raw instruction bits).
     fn flush_decode_cache(&mut self) {
         self.dcache.fill(INVALID_LINE);
+        self.flush_superblocks();
+    }
+
+    /// Invalidates every superblock line and abandons the chain under
+    /// construction.
+    fn flush_superblocks(&mut self) {
+        for line in self.blocks.iter_mut() {
+            line.start = 1;
+        }
+        self.chain.len = 0;
     }
 
     /// Accounts `k` cycles of WFI sleep (or halt) in one step, exactly as
@@ -324,7 +487,12 @@ impl Cpu {
                     }
                 }
                 match self.fetch_decode(bus) {
-                    Ok((instr, size)) => self.execute(instr, size, bus),
+                    Ok((instr, raw, size)) => {
+                        if self.sb_enabled {
+                            self.superblock_note(instr, raw, size);
+                        }
+                        self.execute(instr, size, bus);
+                    }
                     Err(e) => self.halt(HaltCause::IllegalInstruction(e)),
                 }
             }
@@ -333,15 +501,192 @@ impl Cpu {
 
     /// Runs until the core halts or sleeps, up to `max_cycles`. Returns
     /// the cycles consumed. Interrupt lines are held at `irq`.
+    ///
+    /// Uses [`Cpu::run_block`] opportunistically; the result is
+    /// bit-identical to ticking `max_cycles` times.
     pub fn run(&mut self, bus: &mut impl CpuBus, irq: u32, max_cycles: u64) -> u64 {
         let start = self.cycles;
         while self.cycles - start < max_cycles {
             if self.state == CpuState::Halted || self.state == CpuState::Sleeping {
                 break;
             }
-            self.tick(bus, irq);
+            let remaining = max_cycles - (self.cycles - start);
+            if self.run_block(bus, irq, remaining) == 0 {
+                self.tick(bus, irq);
+            }
         }
         self.cycles - start
+    }
+
+    /// Executes cached superblocks starting at the current pc, billing
+    /// their cycles in bulk, for at most `budget` cycles. Returns the
+    /// cycles consumed (0 when nothing could run in bulk — the caller
+    /// must then [`Cpu::tick`] normally).
+    ///
+    /// The contract is exact equivalence: after `run_block` returns `k`,
+    /// every architectural and accounting observable (registers, pc,
+    /// CSRs, fetch traffic and prefetch-buffer state, `retired`,
+    /// `stall_cycles`, pipeline state) matches what `k` consecutive
+    /// [`Cpu::tick`] calls with the same `irq` image would have produced.
+    /// That holds because:
+    ///
+    /// - blocks contain only register-only and branch/jump instructions
+    ///   (see [`StepClass`]) — nothing that can touch the bus, CSRs,
+    ///   `mie`/`mstatus`, or trap — so one interrupt-deliverability check
+    ///   on entry covers the whole span;
+    /// - each step re-fetches its raw bits through the prefetch buffer
+    ///   (the exact traffic `fetch_decode` would generate) and verifies
+    ///   them; a mismatch (self-modified code) aborts the block and hands
+    ///   the already-fetched bits to the next `fetch_decode`;
+    /// - an instruction's trailing stall is converted to bulk cycles only
+    ///   up to the budget; any remainder stays in `stall` for the
+    ///   per-cycle path, exactly as if the budget boundary had fallen
+    ///   mid-stall.
+    pub fn run_block(&mut self, bus: &mut impl CpuBus, irq: u32, budget: u64) -> u64 {
+        if !self.sb_enabled || budget == 0 || self.state != CpuState::Running {
+            return 0;
+        }
+        self.csrs.mip = irq;
+        let mut used: u64 = 0;
+        // Leftover multi-cycle-instruction stall: burn it in bulk,
+        // exactly as that many stall ticks would.
+        if self.stall > 0 {
+            let take = u64::from(self.stall).min(budget);
+            self.stall -= take as u32;
+            self.stall_cycles += take;
+            used = take;
+        }
+        // One interrupt check per entry: `mip` is pinned for the whole
+        // span and block instructions cannot write `mie`/`mstatus`, so
+        // deliverability cannot change until the block path exits.
+        let irq_deliverable =
+            self.csrs.interrupts_enabled() && self.csrs.pending_interrupt().is_some();
+        if !irq_deliverable {
+            'blocks: while used < budget {
+                let idx = (self.pc >> 1) as usize & (SUPERBLOCK_ENTRIES - 1);
+                if self.blocks[idx].start != self.pc {
+                    break;
+                }
+                let len = self.blocks[idx].len as usize;
+                self.sb.block_runs += 1;
+                for k in 0..len {
+                    if used == budget {
+                        break 'blocks;
+                    }
+                    let step = self.blocks[idx].steps[k];
+                    let pc = self.pc;
+                    debug_assert_eq!(pc, step.pc, "superblock layout is sequential");
+                    // Re-fetch through the prefetch buffer — the exact
+                    // traffic `fetch_decode` would generate — and verify
+                    // the cached raw bits (self-modifying-code safety).
+                    let aligned = pc & !3;
+                    let word = self.fetch_word(aligned, bus);
+                    let low_half = if pc & 2 == 0 {
+                        (word & 0xFFFF) as u16
+                    } else {
+                        (word >> 16) as u16
+                    };
+                    let (raw, size) = if is_compressed(low_half) {
+                        (u32::from(low_half), 2)
+                    } else if pc & 2 == 0 {
+                        (word, 4)
+                    } else {
+                        let next = self.fetch_word(aligned + 4, bus);
+                        (u32::from(low_half) | (next << 16), 4)
+                    };
+                    if raw != step.raw || size != step.size {
+                        // Stale decode: drop the block and hand the
+                        // freshly fetched bits to the per-cycle path.
+                        self.sb.verify_aborts += 1;
+                        self.blocks[idx].start = 1;
+                        self.handoff = Some((pc, raw, size));
+                        break 'blocks;
+                    }
+                    self.execute(step.instr, step.size, bus);
+                    self.sb.block_instrs += 1;
+                    // Convert the instruction's stall into bulk cycles up
+                    // to the budget; a remainder stays in `stall` for the
+                    // per-cycle path.
+                    let extra = u64::from(self.stall);
+                    let take = extra.min(budget - used - 1);
+                    self.stall -= take as u32;
+                    self.stall_cycles += take;
+                    used += 1 + take;
+                    if self.state != CpuState::Running {
+                        break 'blocks;
+                    }
+                }
+            }
+        }
+        self.sb.block_cycles += used;
+        self.cycles += used;
+        self.csrs.mcycle += used;
+        used
+    }
+
+    /// Grows the superblock chain with the instruction about to execute
+    /// at the current pc. Called from the single-step path, so chaining
+    /// is a free side effect of normal execution — no extra fetches or
+    /// decodes ever happen on a block's behalf.
+    fn superblock_note(&mut self, instr: Instr, raw: u32, size: u32) {
+        let pc = self.pc;
+        if self.chain.len > 0 && pc != self.chain.next_pc {
+            // Control arrived from elsewhere (interrupt entry, a partial
+            // block run): the accumulated prefix is still a valid block.
+            self.seal_chain();
+        }
+        let class = classify(&instr);
+        if self.chain.len > 0 {
+            match class {
+                StepClass::Chain => {
+                    self.chain_push(pc, raw, size, instr);
+                    if self.chain.len as usize == SUPERBLOCK_MAX_LEN {
+                        self.seal_chain();
+                    }
+                }
+                StepClass::Close => {
+                    self.chain_push(pc, raw, size, instr);
+                    self.seal_chain();
+                }
+                StepClass::Break => self.seal_chain(),
+            }
+        } else if class == StepClass::Chain {
+            // Start a new chain — unless a fresh block already starts
+            // here (a hot loop would otherwise rebuild its block on every
+            // single-stepped iteration).
+            let idx = (pc >> 1) as usize & (SUPERBLOCK_ENTRIES - 1);
+            let line = &self.blocks[idx];
+            if line.start == pc && line.steps[0].raw == raw {
+                return;
+            }
+            self.chain.start = pc;
+            self.chain.len = 0;
+            self.chain_push(pc, raw, size, instr);
+        }
+    }
+
+    fn chain_push(&mut self, pc: u32, raw: u32, size: u32, instr: Instr) {
+        let c = &mut self.chain;
+        c.steps[c.len as usize] = BlockStep { pc, raw, size, instr };
+        c.len += 1;
+        c.next_pc = pc.wrapping_add(size);
+    }
+
+    /// Stores the accumulated chain into the block cache (if it is long
+    /// enough to be worth executing in bulk) and resets the accumulator.
+    fn seal_chain(&mut self) {
+        let len = self.chain.len;
+        self.chain.len = 0;
+        if len < 2 {
+            return;
+        }
+        let start = self.chain.start;
+        let idx = (start >> 1) as usize & (SUPERBLOCK_ENTRIES - 1);
+        let line = &mut self.blocks[idx];
+        line.start = start;
+        line.len = len;
+        line.steps[..len as usize].copy_from_slice(&self.chain.steps[..len as usize]);
+        self.sb.blocks_built += 1;
     }
 
     fn halt(&mut self, cause: HaltCause) {
@@ -358,8 +703,23 @@ impl Cpu {
     /// prefetch-buffer state stay bit-identical whether the decode cache
     /// hits or not; a hit only replaces the `decode`/`decode_compressed`
     /// work with a tag + raw-bits compare against the fetched word.
-    fn fetch_decode(&mut self, bus: &mut impl CpuBus) -> Result<(Instr, u32), DecodeError> {
+    ///
+    /// Returns `(instr, raw, size)`; the raw bits feed the superblock
+    /// chain builder.
+    fn fetch_decode(&mut self, bus: &mut impl CpuBus) -> Result<(Instr, u32, u32), DecodeError> {
         let pc = self.pc;
+        // A block verify abort already fetched this instruction's bits;
+        // reuse them so the fetch traffic is not paid twice.
+        if let Some((hpc, raw, size)) = self.handoff.take() {
+            if hpc == pc {
+                let instr = if size == 2 {
+                    decode_compressed(raw as u16, pc)?
+                } else {
+                    decode(raw, pc)?
+                };
+                return Ok((instr, raw, size));
+            }
+        }
         let aligned = pc & !3;
         let word = self.fetch_word(aligned, bus);
         let low_half = if pc & 2 == 0 {
@@ -374,12 +734,12 @@ impl Cpu {
                 let line = self.dcache[idx];
                 if line.pc == pc && line.raw == raw {
                     self.dcache_hits += 1;
-                    return Ok((line.instr, 2));
+                    return Ok((line.instr, raw, 2));
                 }
             }
             let instr = decode_compressed(low_half, pc)?;
             self.fill_decode_cache(idx, pc, raw, instr);
-            return Ok((instr, 2));
+            return Ok((instr, raw, 2));
         }
         let full = if pc & 2 == 0 {
             word
@@ -392,12 +752,12 @@ impl Cpu {
             let line = self.dcache[idx];
             if line.pc == pc && line.raw == full {
                 self.dcache_hits += 1;
-                return Ok((line.instr, 4));
+                return Ok((line.instr, full, 4));
             }
         }
         let instr = decode(full, pc)?;
         self.fill_decode_cache(idx, pc, full, instr);
-        Ok((instr, 4))
+        Ok((instr, full, 4))
     }
 
     fn fill_decode_cache(&mut self, idx: usize, pc: u32, raw: u32, instr: Instr) {

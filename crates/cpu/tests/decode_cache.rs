@@ -123,6 +123,11 @@ fn compressed_and_straddling_loop_identical_with_cache_on_and_off() {
     ];
     let run = |cache: bool| {
         let (mut cpu, mut bus) = fresh(&p, cache);
+        // The hit-rate assertion below is about the decode cache, which
+        // only sees single-stepped instructions — block-mode execution
+        // bypasses it (superblock coverage lives in the tests further
+        // down).
+        cpu.set_superblocks_enabled(false);
         cpu.set_reg(8, 10); // loop bound
         cpu.run(&mut bus, 0, 1_000);
         assert_eq!(cpu.halt_cause(), Some(HaltCause::Ecall));
@@ -139,6 +144,171 @@ fn compressed_and_straddling_loop_identical_with_cache_on_and_off() {
         "fetch count (incl. straddling second fetch) identical"
     );
     assert!(hits > misses, "loop body hits after the first iteration");
+}
+
+/// Lockstep differential: the same program advanced in ragged cycle
+/// budgets with superblocks on and off must agree on every observable
+/// at every budget boundary — including boundaries that land mid-block
+/// and mid-stall.
+#[test]
+fn superblock_execution_matches_single_step_at_every_budget_boundary() {
+    // A loop mixing a chainable ALU run, a store/load pair (block
+    // breakers), and a backward branch (block closer).
+    let p = [
+        asm::addi(5, 5, 1),      // 0x00
+        asm::addi(6, 6, 2),      // 0x04
+        asm::xor(7, 5, 6),       // 0x08
+        asm::add(7, 7, 5),       // 0x0C
+        asm::sw(0, 7, 0x100),    // 0x10
+        asm::lw(9, 0, 0x100),    // 0x14
+        asm::addi(10, 10, 1),    // 0x18
+        asm::bne(10, 8, -0x1C),  // 0x1C
+        asm::ecall(),            // 0x20
+    ];
+    let (mut on, mut bus_on) = fresh(&p, true);
+    let (mut off, mut bus_off) = fresh(&p, true);
+    off.set_superblocks_enabled(false);
+    on.set_reg(8, 25);
+    off.set_reg(8, 25);
+    let budgets = [1u64, 2, 3, 5, 7, 1, 4, 32, 2, 9, 64, 1, 1, 3, 128];
+    'outer: loop {
+        for &k in &budgets {
+            on.run(&mut bus_on, 0, k);
+            off.run(&mut bus_off, 0, k);
+            assert_eq!(on.cycles(), off.cycles(), "cycles at budget {k}");
+            assert_eq!(on.retired(), off.retired(), "retired at budget {k}");
+            assert_eq!(on.pc(), off.pc(), "pc at budget {k}");
+            assert_eq!(on.halt_cause(), off.halt_cause(), "halt at budget {k}");
+            assert_eq!(bus_on.fetches, bus_off.fetches, "fetches at budget {k}");
+            for r in 0..32 {
+                assert_eq!(on.reg(r), off.reg(r), "x{r} at budget {k}");
+            }
+            if on.halt_cause().is_some() {
+                break 'outer;
+            }
+        }
+    }
+    assert_eq!(on.halt_cause(), Some(HaltCause::Ecall));
+    assert!(
+        on.superblock_stats().block_runs > 0,
+        "the fast side actually exercised block execution"
+    );
+    assert_eq!(off.superblock_stats().block_runs, 0, "single-step stays cold");
+}
+
+/// Patches the *middle* of a sealed superblock through a store. Layout
+/// (word addresses):
+///
+/// ```text
+/// 0x00 li32 x1, 0x68          patch address (mid-block)
+/// 0x08 li32 x2, <patched>     addi x5, x0, 99
+/// 0x10 jal  0x60              first execution seals the block
+/// 0x14 bne  x6, x0, 0x28      second return → done
+/// 0x18 addi x6, x0, 1
+/// 0x1C sw   x2, 0(x1)         patch the block's third step
+/// 0x20 fence.i | nop
+/// 0x24 jal  0x60              re-execute the (patched) block
+/// 0x28 ecall
+/// 0x60 addi x5, x5, 1         ┐
+/// 0x64 addi x5, x5, 2         │ the sealed block
+/// 0x68 addi x5, x5, 4         │ (overwritten with x5 ← 99)
+/// 0x6C jal  0x14              ┘
+/// ```
+fn block_patch_program(with_fence: bool) -> Vec<u32> {
+    let mut p = vec![0u32; 0x70 / 4];
+    let mut at = |addr: usize, words: &[u32]| {
+        for (i, &w) in words.iter().enumerate() {
+            p[addr / 4 + i] = w;
+        }
+    };
+    at(0x00, &asm::li32(1, 0x68));
+    at(0x08, &asm::li32(2, asm::addi(5, 0, 99)));
+    at(0x10, &[asm::jal(0, 0x60 - 0x10)]);
+    at(0x14, &[asm::bne(6, 0, 0x28 - 0x14)]);
+    at(0x18, &[asm::addi(6, 0, 1)]);
+    at(0x1C, &[asm::sw(1, 2, 0)]);
+    at(
+        0x20,
+        &[if with_fence {
+            asm::fence_i()
+        } else {
+            asm::addi(0, 0, 0)
+        }],
+    );
+    at(0x24, &[asm::jal(0, 0x60 - 0x24)]);
+    at(0x28, &[asm::ecall()]);
+    at(0x60, &[asm::addi(5, 5, 1)]);
+    at(0x64, &[asm::addi(5, 5, 2)]);
+    at(0x68, &[asm::addi(5, 5, 4)]);
+    at(0x6C, &[asm::jal(0, 0x14 - 0x6C)]);
+    p
+}
+
+#[test]
+fn self_modifying_code_across_block_boundary_with_fence_i() {
+    let p = block_patch_program(true);
+    let (mut cpu, mut bus) = fresh(&p, true);
+    cpu.run(&mut bus, 0, 300);
+    assert_eq!(cpu.halt_cause(), Some(HaltCause::Ecall));
+    assert_eq!(cpu.reg(5), 99, "patched mid-block instruction ran");
+    assert_eq!(
+        cpu.superblock_stats().verify_aborts,
+        0,
+        "fence.i flushed the block, so no stale entry survived to abort"
+    );
+}
+
+#[test]
+fn self_modifying_code_across_block_boundary_without_fence_i() {
+    // No fence: the stale sealed block is only caught by the per-step
+    // raw-bits re-verify, which must abort the block rather than replay
+    // the overwritten decode.
+    let p = block_patch_program(false);
+    let (mut cpu, mut bus) = fresh(&p, true);
+    cpu.run(&mut bus, 0, 300);
+    assert_eq!(cpu.halt_cause(), Some(HaltCause::Ecall));
+    assert_eq!(cpu.reg(5), 99, "patched mid-block instruction ran");
+    assert!(
+        cpu.superblock_stats().verify_aborts >= 1,
+        "the stale block entry was caught by re-verify"
+    );
+}
+
+#[test]
+fn block_patch_retires_identical_streams_in_both_modes() {
+    for with_fence in [true, false] {
+        let p = block_patch_program(with_fence);
+        let (mut on, mut bus_on) = fresh(&p, true);
+        on.run(&mut bus_on, 0, 300);
+        let (mut off, mut bus_off) = fresh(&p, true);
+        off.set_superblocks_enabled(false);
+        off.run(&mut bus_off, 0, 300);
+        let ctx = format!("fence={with_fence}");
+        assert_eq!(on.cycles(), off.cycles(), "{ctx}: cycles");
+        assert_eq!(on.retired(), off.retired(), "{ctx}: retired");
+        assert_eq!(bus_on.fetches, bus_off.fetches, "{ctx}: fetch traffic");
+        for r in 0..32 {
+            assert_eq!(on.reg(r), off.reg(r), "{ctx}: x{r}");
+        }
+        assert_eq!(on.halt_cause(), off.halt_cause(), "{ctx}: halt cause");
+    }
+}
+
+#[test]
+fn disabling_superblocks_flushes_and_resets_stats() {
+    let p = [
+        asm::addi(1, 0, 7),
+        asm::addi(2, 1, 1),
+        asm::addi(3, 2, 1),
+        asm::jal(0, -0xC),
+    ];
+    let (mut cpu, mut bus) = fresh(&p, true);
+    cpu.run(&mut bus, 0, 100);
+    assert!(cpu.superblocks_enabled());
+    assert!(cpu.superblock_stats().block_runs > 0);
+    cpu.set_superblocks_enabled(false);
+    assert!(!cpu.superblocks_enabled());
+    assert_eq!(cpu.superblock_stats(), pels_cpu::SuperblockStats::default());
 }
 
 #[test]

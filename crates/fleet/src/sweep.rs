@@ -34,6 +34,7 @@ pub struct SweepSpec {
     rmw_only: bool,
     obs: bool,
     timeline_window: u64,
+    force_single_step: bool,
 }
 
 impl Default for SweepSpec {
@@ -48,6 +49,7 @@ impl Default for SweepSpec {
             rmw_only: false,
             obs: false,
             timeline_window: 0,
+            force_single_step: false,
         }
     }
 }
@@ -119,6 +121,16 @@ impl SweepSpec {
         self
     }
 
+    /// `true` → every job disables CPU superblock execution
+    /// ([`pels_soc::Scenario::force_single_step`]). Applied uniformly —
+    /// a host-speed switch, not a sweep axis. Superblocks never perturb
+    /// results, so the fleet digest is invariant under this setting
+    /// (`tests/obs_invariance.rs`).
+    pub fn force_single_step(mut self, force_single_step: bool) -> Self {
+        self.force_single_step = force_single_step;
+        self
+    }
+
     /// Expands the cartesian product into labelled scenarios, in a fixed
     /// deterministic order (mediator-major, arbiter-minor). Labels encode
     /// every axis value, so they are unique within the sweep.
@@ -145,6 +157,7 @@ impl SweepSpec {
                                 .rmw_only(self.rmw_only)
                                 .obs(self.obs)
                                 .timeline_window(self.timeline_window)
+                                .force_single_step(self.force_single_step)
                                 .build()?;
                             let label = format!(
                                 "{mediator}@{mhz:.0}MHz links{links} {topology} {arbiter}"

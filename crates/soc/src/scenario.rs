@@ -217,6 +217,13 @@ pub struct Scenario {
     /// fast path (the differential tests prove it) but much slower — the
     /// switch exists *for* those tests and for before/after benchmarks.
     pub force_naive: bool,
+    /// Disable CPU superblock execution only, keeping active-slave
+    /// scheduling and the decode cache: the CPU retires one instruction
+    /// per scheduler visit. The reference point for the superblock
+    /// differential suite (`force_naive` implies it — the naive path
+    /// disables every accelerator). Observationally identical to the
+    /// default (the differential tests prove it).
+    pub force_single_step: bool,
     /// Collect an observability metrics snapshot
     /// ([`ScenarioReport::metrics`]) at the end of the run. Publishing
     /// happens *after* the simulation windows complete, so the setting
@@ -274,6 +281,7 @@ impl Default for ScenarioBuilder {
                 topology: Topology::Shared,
                 arbiter: ArbiterKind::RoundRobin,
                 force_naive: false,
+                force_single_step: false,
                 obs: false,
                 timeline_window: 0,
             },
@@ -388,6 +396,15 @@ impl ScenarioBuilder {
     /// cache) — for differential tests and before/after benchmarks.
     pub fn force_naive(mut self, force_naive: bool) -> Self {
         self.draft.force_naive = force_naive;
+        self
+    }
+
+    /// Disables CPU superblock execution only (single-instruction
+    /// scheduler visits), keeping the other fast-path accelerators — the
+    /// superblock differential reference (see
+    /// [`Scenario::force_single_step`]).
+    pub fn force_single_step(mut self, force_single_step: bool) -> Self {
+        self.draft.force_single_step = force_single_step;
         self
     }
 
@@ -594,6 +611,11 @@ impl Scenario {
             soc.spi_mut()
                 .write(Spi::UDMA_SIZE, self.spi_words * 4)
                 .unwrap();
+        }
+        if self.force_naive || self.force_single_step {
+            // The naive reference path disables every accelerator, the
+            // single-step switch only the superblock layer.
+            soc.cpu_mut().set_superblocks_enabled(false);
         }
         if self.force_naive {
             soc.set_naive_scheduling(true);

@@ -907,6 +907,11 @@ impl Soc {
         self.cpu.decode_cache_stats()
     }
 
+    /// CPU superblock counters (see [`pels_cpu::Cpu::superblock_stats`]).
+    pub fn superblock_stats(&self) -> pels_cpu::SuperblockStats {
+        self.cpu.superblock_stats()
+    }
+
     /// Publishes CPU, scheduler and fabric counters into an
     /// observability registry (gauge semantics — idempotent at a given
     /// point in the run). Keys: `cpu.*`, `soc.sched.*`, `fabric.*`, and
@@ -1252,16 +1257,110 @@ impl Soc {
         span
     }
 
-    /// Runs `n` cycles, jumping over whole-SoC idle spans when possible.
+    /// Attempts to grant the *running* CPU a bounded multi-cycle budget
+    /// and retire whole superblocks in one visit ([`Cpu::run_block`]) —
+    /// the busy-CPU dual of [`Soc::try_skip`]. Returns the cycles
+    /// advanced (0 if the SoC is not provably inert around the CPU).
+    ///
+    /// The span is only entered when every cycle in it would have taken
+    /// the fast scheduler path with nothing but the CPU acting: every
+    /// peripheral asleep, strictly before its deadline, unwakeable by the
+    /// standing wires or by fabric traffic, the fabric empty, PELS steady
+    /// with a self-reproducing wire image, and no deliverable interrupt.
+    /// Block instructions are register-only (no bus, CSR or trap
+    /// activity), so none of those conditions can change inside the span;
+    /// the budget is additionally capped at the nearest peripheral
+    /// deadline and the open timeline-window boundary, keeping
+    /// `SchedStats` (sprinted cycles are exactly the fast-path cycles
+    /// single-stepping would count), skip spans, windowed timelines and
+    /// interrupt delivery bit-identical to single-stepped execution. The
+    /// differential suite in `tests/active_path.rs` proves it.
+    fn try_cpu_sprint(&mut self, budget: u64) -> u64 {
+        if self.naive_ticking || budget == 0 || !self.injected.is_empty() {
+            return 0;
+        }
+        if self.cpu.state() != CpuState::Running {
+            return 0;
+        }
+        if !self.sched.active.is_empty() {
+            return 0;
+        }
+        let wires = self.prev_wires;
+        if wires.intersects(self.sched.wake_union) {
+            return 0;
+        }
+        let remain = self.sched.next_deadline.saturating_sub(self.cycle);
+        if remain == 0 {
+            return 0;
+        }
+        // A sleeper whose registers last cycle's fabric phases touched
+        // (or that a pending request targets) would be stirred awake this
+        // cycle — the sprint must not paper over that wake.
+        if (self.fabric.targeted_slaves() | self.fabric.touched_slaves()) & self.sched.asleep != 0
+        {
+            return 0;
+        }
+        if !self.fabric.is_quiescent() {
+            return 0;
+        }
+        // All slaves sleep, so the peripheral pulse image is empty and
+        // PELS must already be latched steady on exactly the standing
+        // wires (same argument as `try_skip`); block instructions cannot
+        // reach PELS config, so it stays steady for the whole span.
+        match self.pels.steady_output(EventVector::EMPTY) {
+            Some(visible) if visible == wires => {}
+            _ => return 0,
+        }
+        // Never sprint across a timeline-window boundary: single-stepping
+        // closes the window exactly at the boundary cycle.
+        let mut span = budget.min(remain);
+        if let Some(s) = &self.sampler {
+            span = span.min(s.next_boundary.saturating_sub(self.cycle));
+        }
+        if span == 0 {
+            return 0;
+        }
+        let used = {
+            let mut bus = CpuPort {
+                l2: &mut self.l2,
+                fabric: &mut self.fabric,
+                master: self.cpu_master,
+                pels: &mut self.pels,
+                pels_id: self.clock_ids.pels,
+                activity: &mut self.activity,
+            };
+            self.cpu.run_block(&mut bus, self.irq_pending, span)
+        };
+        if used == 0 {
+            return 0;
+        }
+        // Whole-span bookkeeping, exactly as `used` fast-path cycles of
+        // `step_inner` would have accounted: PELS and fabric idle-advance,
+        // the wire image reproduces itself, and every cycle was a
+        // fast-path cycle with the CPU awake.
+        self.pels.skip_cycles(used);
+        self.fabric.skip_cycles(used);
+        self.cycle += used;
+        self.window_cycles += used;
+        self.cpu_awake_cycles += used;
+        self.sched.stats.fast_cycles += used;
+        used
+    }
+
+    /// Runs `n` cycles, jumping over whole-SoC idle spans and sprinting
+    /// through cached CPU superblocks when possible.
     pub fn run(&mut self, n: u64) {
         let mut done = 0;
         while done < n {
-            let skipped = self.try_skip(n - done);
-            if skipped == 0 {
+            let mut advanced = self.try_skip(n - done);
+            if advanced == 0 {
+                advanced = self.try_cpu_sprint(n - done);
+            }
+            if advanced == 0 {
                 self.step_inner();
                 done += 1;
             } else {
-                done += skipped;
+                done += advanced;
             }
             self.timeline_tick();
         }
@@ -1271,17 +1370,29 @@ impl Soc {
     /// Runs until `pred(self)` holds or `max_cycles` elapse; returns
     /// `true` if the predicate was met.
     ///
-    /// Cycle-exact: the predicate is evaluated before every cycle, so
-    /// this never jumps over idle spans (the predicate could observe any
-    /// state). Use [`Soc::run_for_trace_count`] when the condition is a
-    /// trace-entry count — that one can skip.
+    /// Never jumps over idle spans (the predicate could observe any
+    /// peripheral state). The one granted shortcut is the CPU superblock
+    /// sprint: while the rest of the SoC is provably inert and only the
+    /// CPU acts, the predicate is evaluated at superblock boundaries
+    /// rather than every cycle. Nothing outside the CPU changes inside
+    /// such a span, so predicates over peripheral, PELS, fabric or trace
+    /// state remain cycle-exact; a predicate that watches CPU
+    /// architectural state (registers, pc) at sub-block granularity
+    /// should disable superblocks first
+    /// ([`pels_cpu::Cpu::set_superblocks_enabled`], or
+    /// `Scenario::force_single_step`). Use [`Soc::run_for_trace_count`]
+    /// when the condition is a trace-entry count — that one can also
+    /// skip idle spans.
     pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Soc) -> bool) -> bool {
-        for _ in 0..max_cycles {
+        let end = self.cycle.saturating_add(max_cycles);
+        while self.cycle < end {
             self.sync_slaves();
             if pred(self) {
                 return true;
             }
-            self.step_inner();
+            if self.try_cpu_sprint(end - self.cycle) == 0 {
+                self.step_inner();
+            }
             self.timeline_tick();
         }
         self.sync_slaves();
@@ -1323,7 +1434,9 @@ impl Soc {
                 self.sync_slaves();
                 return done;
             }
-            if self.try_skip(end - self.cycle) == 0 {
+            if self.try_skip(end - self.cycle) == 0
+                && self.try_cpu_sprint(end - self.cycle) == 0
+            {
                 self.step_inner();
             }
             self.timeline_tick();

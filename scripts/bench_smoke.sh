@@ -19,6 +19,17 @@ echo "bench_smoke: sim_throughput OK"
 cargo test -q --test active_path --no-run
 echo "bench_smoke: active_path differential suite compiles OK"
 
+# Superblock differential gate: run (not just compile) the suites that
+# prove bulk block retirement is observationally identical to
+# single-stepped execution — the SoC-level differential + IRQ sweep, the
+# CPU-level lockstep/self-modifying-code tests, and the report/fleet
+# digest invariance tests.
+cargo test -q --test active_path superblock
+cargo test -q --test active_path irq_delivery_under_superblocks
+cargo test -q -p pels-cpu --test decode_cache superblock
+cargo test -q --test obs_invariance superblock
+echo "bench_smoke: superblock differential suite OK"
+
 # The fleet bench also asserts serial-vs-parallel digest equality.
 cargo bench -q -p pels-bench --bench fleet -- --sample-size 10
 echo "bench_smoke: fleet OK"
@@ -32,6 +43,13 @@ echo "bench_smoke: fleet OK"
 cargo run -q --release -p pels-bench --bin reproduce -- sim_throughput --obs > /dev/null
 cargo run -q --release -p pels-bench --bin obs_check
 echo "bench_smoke: obs artifacts OK"
+
+# The throughput artifact must carry the tracked superblock before/after
+# pair — a missing key means the busy-linking workload or its speedup
+# serialization silently dropped out of the measurement.
+grep -q '"linking_superblock_speedup"' BENCH_sim_throughput.json
+grep -q '"linking_superblock_single_step_cycles_per_sec"' BENCH_sim_throughput.json
+echo "bench_smoke: superblock speedup keys OK"
 
 cargo clippy --workspace --all-targets -q -- -D warnings
 echo "bench_smoke: clippy OK"
