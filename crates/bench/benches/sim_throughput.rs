@@ -7,7 +7,7 @@ use pels_bench::harness::Bench;
 use pels_bench::throughput;
 use pels_cpu::asm;
 use pels_soc::mem_map::RESET_PC;
-use pels_soc::{Mediator, Scenario, SocBuilder};
+use pels_soc::{ExecMode, Mediator, Scenario, SocBuilder};
 
 const CYCLES: u64 = 10_000;
 
@@ -110,13 +110,13 @@ fn main() {
     }
 
     // End-to-end active path: the same scenarios with the fast path off
-    // (`force_naive`) — the before/after pair behind the tracked
+    // (`ExecMode::Naive`) — the before/after pair behind the tracked
     // `linking_speedup` / `irq_speedup` fields.
     for mediator in [Mediator::PelsSequenced, Mediator::IbexIrq] {
         let s = Scenario::builder()
             .mediator(mediator)
             .events(50)
-            .force_naive(true)
+            .exec_mode(ExecMode::Naive)
             .build()
             .expect("valid scenario");
         bench.run(&format!("active_path_naive/{mediator}"), || {

@@ -52,7 +52,7 @@ pub fn scm_vs_shared_fetch() -> ScmAblation {
         .trace()
         .latencies_all(("spi", "eot"), ("gpio", "padout"))
         .iter()
-        .map(|t| t.as_ps() / s.freq.period_ps())
+        .map(|t| t.as_ps() / s.freq().period_ps())
         .min()
         .expect("events completed");
 
@@ -64,9 +64,9 @@ pub fn scm_vs_shared_fetch() -> ScmAblation {
 
 fn s_build_with_fetch_stall(s: &Scenario, stall: u32) -> Soc {
     let mut soc = SocBuilder::new()
-        .frequency(s.freq)
-        .sensor(s.sensor)
-        .spi_clkdiv(s.spi_clkdiv)
+        .frequency(s.freq())
+        .sensor(s.sensor())
+        .spi_clkdiv(s.spi_clkdiv())
         .build();
     {
         let link = soc.pels_mut().link_mut(0);
@@ -285,9 +285,9 @@ pub fn jitter_under_contention() -> Vec<JitterPoint> {
                 .build()
                 .expect("jitter scenario is valid");
             let mut soc = SocBuilder::new()
-                .frequency(s.freq)
-                .sensor(s.sensor)
-                .spi_clkdiv(s.spi_clkdiv)
+                .frequency(s.freq())
+                .sensor(s.sensor())
+                .spi_clkdiv(s.spi_clkdiv())
                 .build();
             {
                 let link = soc.pels_mut().link_mut(0);
@@ -322,7 +322,7 @@ pub fn jitter_under_contention() -> Vec<JitterPoint> {
                 .trace()
                 .latencies_all(("spi", "eot"), marker)
                 .iter()
-                .map(|t| t.as_ps() / s.freq.period_ps())
+                .map(|t| t.as_ps() / s.freq().period_ps())
                 .collect();
             assert!(lats.len() >= 20, "{mediator}: events completed under load");
             let min = *lats.iter().min().expect("non-empty");
@@ -422,9 +422,9 @@ pub fn polling_vs_pels() -> PollingAblation {
     // Polling run.
     let s = Scenario::latency_probe(Mediator::PelsSequenced);
     let mut soc = SocBuilder::new()
-        .frequency(s.freq)
-        .sensor(s.sensor)
-        .spi_clkdiv(s.spi_clkdiv)
+        .frequency(s.freq())
+        .sensor(s.sensor())
+        .spi_clkdiv(s.spi_clkdiv())
         .build();
     soc.pels_mut().set_enabled(false);
     soc.spi_mut().set_default_len(s.spi_words);
@@ -438,7 +438,7 @@ pub fn polling_vs_pels() -> PollingAblation {
         .trace()
         .latencies_all(("spi", "eot"), ("gpio", "padout"))
         .iter()
-        .map(|t| t.as_ps() / s.freq.period_ps())
+        .map(|t| t.as_ps() / s.freq().period_ps())
         .min()
         .expect("polling actuated");
     let window_us = soc.window_time().as_us_f64();

@@ -8,9 +8,11 @@
 //! Artifacts: `table1`, `fig3`, `fig5`, `latency`, `fig6a`, `fig6b`,
 //! `ablations`, `extensions`, `sim_throughput` (which additionally
 //! writes `BENCH_sim_throughput.json` so the simulator's own speed is
-//! tracked across PRs), and `fleet` (which runs a reference sweep on 1
+//! tracked across PRs), `fleet` (which runs a reference sweep on 1
 //! worker and on all available workers, checks the two reports are
-//! bit-identical, and writes `BENCH_fleet_throughput.json`).
+//! bit-identical, and writes `BENCH_fleet_throughput.json`), and `desc`
+//! (which regenerates the canonical system/scenario description corpus
+//! under `examples/descs/`, gated by the `desc_check` binary).
 //!
 //! The `--obs` flag (combinable with any artifact subset) enables the
 //! host-time span profiler for the whole run and appends an
@@ -25,8 +27,10 @@
 //! three files' schemas in `scripts/bench_smoke.sh`.
 
 use pels_bench::{ablations, experiments, sota, throughput};
+use pels_desc::{DescFuzzer, FuzzCase};
 use pels_fleet::{report as fleet_report, FleetEngine, SweepSpec};
-use pels_soc::{Mediator, Scenario};
+use pels_interconnect::{ArbiterKind, Topology};
+use pels_soc::{Mediator, Scenario, ScenarioDesc, SensorKind, SystemDesc};
 use std::process::ExitCode;
 
 const ALL: &[&str] = &[
@@ -40,6 +44,7 @@ const ALL: &[&str] = &[
     "extensions",
     "sim_throughput",
     "fleet",
+    "desc",
 ];
 
 /// The reference 8-job sweep for the fleet artifact: 2 mediators × 2
@@ -212,6 +217,90 @@ fn run_obs_artifact() -> Result<String, String> {
     ))
 }
 
+/// Fixed seed for the fuzzed slice of the description corpus — the
+/// corpus is a committed artifact, so regeneration must be bit-stable.
+const DESC_FUZZ_SEED: u64 = 0xDE5C;
+
+/// The `desc` artifact: emits the canonical description corpus under
+/// `examples/descs/` — the paper presets, the named example systems and
+/// a fixed-seed fuzzed slice. Every emitted document is round-tripped
+/// through its own parser before it is written; `desc_check` re-gates
+/// the files (parse → validate → smoke run) in `scripts/bench_smoke.sh`.
+fn run_desc_artifact() -> Result<String, String> {
+    let dir = std::path::Path::new("examples/descs");
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+
+    let mut docs: Vec<(String, String)> = Vec::new();
+    let scenario = |name: &str, d: &ScenarioDesc| -> Result<(String, String), String> {
+        let json = d.to_json();
+        let back = ScenarioDesc::from_json(&json)
+            .map_err(|e| format!("{name}: emitted JSON fails to re-parse: {e}"))?;
+        if &back != d {
+            return Err(format!("{name}: round-trip is not the identity"));
+        }
+        Ok((format!("{name}.json"), json))
+    };
+    let system = |name: &str, d: &SystemDesc| -> Result<(String, String), String> {
+        let json = d.to_json();
+        let back = SystemDesc::from_json(&json)
+            .map_err(|e| format!("{name}: emitted JSON fails to re-parse: {e}"))?;
+        if &back != d {
+            return Err(format!("{name}: round-trip is not the identity"));
+        }
+        Ok((format!("{name}.json"), json))
+    };
+
+    // The paper presets.
+    docs.push(scenario("default_scenario", &ScenarioDesc::default())?);
+    docs.push(scenario(
+        "iso_frequency_irq",
+        Scenario::iso_frequency(Mediator::IbexIrq).desc(),
+    )?);
+    docs.push(scenario(
+        "latency_probe_instant",
+        Scenario::latency_probe(Mediator::PelsInstant).desc(),
+    )?);
+    let mut crossbar = ScenarioDesc::default();
+    crossbar.system.topology = Topology::PerSlaveCrossbar;
+    crossbar.system.arbiter = ArbiterKind::FixedPriority;
+    docs.push(scenario("crossbar_fixed_priority", &crossbar)?);
+
+    // The named example systems (system-only documents).
+    let mut quickstart = SystemDesc::default();
+    quickstart.pels.links = 1;
+    quickstart.pels.scm_lines = 4;
+    docs.push(system("quickstart_system", &quickstart)?);
+    let fusion = SystemDesc {
+        sensor: SensorKind::Constant(2.0),
+        ..SystemDesc::default()
+    };
+    docs.push(system("sensor_fusion_system", &fusion)?);
+
+    // A fixed-seed fuzzed slice: the first 6 generated-valid cases.
+    let mut fuzzer = DescFuzzer::new(DESC_FUZZ_SEED);
+    let mut taken = 0usize;
+    while taken < 6 {
+        if let FuzzCase::Valid(desc) = fuzzer.next_case() {
+            desc.validate()
+                .map_err(|e| format!("fuzzed desc {taken} invalid: {e}"))?;
+            docs.push(scenario(&format!("fuzz_{taken:02}"), &desc)?);
+            taken += 1;
+        }
+    }
+
+    let mut listing = String::new();
+    for (name, json) in &docs {
+        let path = dir.join(name);
+        std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        listing.push_str(&format!("  {} ({} bytes)\n", path.display(), json.len()));
+    }
+    Ok(format!(
+        "Descriptions - canonical corpus ({} documents, fuzz seed {DESC_FUZZ_SEED:#x})\n{listing}\
+         (round-trip checked on emit; `desc_check` gates parse/validate/smoke)\n",
+        docs.len(),
+    ))
+}
+
 fn run_one(artifact: &str) -> Result<(), String> {
     let text = match artifact {
         "table1" => {
@@ -239,6 +328,7 @@ fn run_one(artifact: &str) -> Result<(), String> {
             format!("{}(wrote BENCH_sim_throughput.json)\n", throughput::render(&rows))
         }
         "fleet" => run_fleet_artifact()?,
+        "desc" => run_desc_artifact()?,
         other => return Err(format!("unknown artifact `{other}` (expected one of {ALL:?})")),
     };
     println!("================================================================");

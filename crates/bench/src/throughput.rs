@@ -21,7 +21,7 @@
 
 use crate::harness::{fmt_rate, Bench};
 use pels_sim::Frequency;
-use pels_soc::{Mediator, Scenario, SocBuilder};
+use pels_soc::{ExecMode, Mediator, Scenario, SocBuilder};
 use pels_cpu::asm;
 use pels_interconnect::ApbSlave as _;
 use pels_periph::Timer;
@@ -110,9 +110,10 @@ pub fn busy_linking_soc(single_step: bool) -> pels_soc::Soc {
 }
 
 fn scenario_cycles(mediator: Mediator, naive: bool) -> (Scenario, u64) {
+    let exec = if naive { ExecMode::Naive } else { ExecMode::Fast };
     let s = Scenario::iso_frequency(mediator)
         .to_builder()
-        .force_naive(naive)
+        .exec_mode(exec)
         .build()
         .expect("preset variant stays valid");
     let r = s.run();

@@ -1,0 +1,68 @@
+//! Structured description diagnostics.
+
+use std::fmt;
+
+/// Why a description failed to parse or validate.
+///
+/// Every error carries the JSON path of the offending value (e.g.
+/// `/peripherals/2/kind`), so a sweep over description files can point at
+/// the exact field — not just "invalid description". For a description
+/// constructed in code (never parsed), the path refers to the field the
+/// same JSON document would carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescError {
+    /// JSON-pointer-style path of the offending value (`""` is the
+    /// document root).
+    pub path: String,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl DescError {
+    /// Builds an error at `path`.
+    pub fn new(path: impl Into<String>, message: impl Into<String>) -> Self {
+        DescError {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Re-roots the error under `prefix` — used when a nested object
+    /// (e.g. a `SystemDesc` inside a `ScenarioDesc`) reports relative to
+    /// its own root.
+    pub fn prefixed(mut self, prefix: &str) -> Self {
+        self.path = format!("{prefix}{}", self.path);
+        self
+    }
+}
+
+impl fmt::Display for DescError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let path = if self.path.is_empty() { "/" } else { &self.path };
+        write!(f, "{path}: {}", self.message)
+    }
+}
+
+impl std::error::Error for DescError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_path_and_message() {
+        let e = DescError::new("/peripherals/2/kind", "unknown peripheral kind `dma`");
+        assert_eq!(
+            e.to_string(),
+            "/peripherals/2/kind: unknown peripheral kind `dma`"
+        );
+        let e = DescError::new("", "top level must be an object");
+        assert_eq!(e.to_string(), "/: top level must be an object");
+    }
+
+    #[test]
+    fn prefixed_reroots() {
+        let e = DescError::new("/pels/links", "out of range").prefixed("/system");
+        assert_eq!(e.path, "/system/pels/links");
+    }
+}

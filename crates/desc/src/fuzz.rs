@@ -1,0 +1,214 @@
+//! A seeded topology fuzzer: generates random (but bounded)
+//! [`ScenarioDesc`]s for the validate → round-trip → fast-vs-naive
+//! differential loop in `tests/desc_fuzz.rs`.
+//!
+//! Roughly one case in eight carries a deliberate invalid mutation
+//! (zero events, zero clkdiv, out-of-range link count, a duplicated or
+//! misaligned APB slot, …) so the rejection paths are exercised too.
+//! Everything is driven by the in-repo [`pels_sim::Rng`], so a seed
+//! pins the whole corpus.
+
+use crate::kinds::{Mediator, SensorKind};
+use crate::mem_map::APB_STRIDE;
+use crate::scenario::ScenarioDesc;
+use pels_interconnect::{ArbiterKind, Topology};
+use pels_sim::{Frequency, Rng, SimTime};
+
+/// One fuzzer draw.
+#[derive(Debug, Clone)]
+pub enum FuzzCase {
+    /// A description that must pass [`ScenarioDesc::validate`], survive a
+    /// JSON round-trip bit-identically, and run identically on the fast
+    /// and naive paths.
+    Valid(ScenarioDesc),
+    /// A description that must be rejected by [`ScenarioDesc::validate`]
+    /// with a non-empty JSON path.
+    Invalid {
+        /// The broken description.
+        desc: ScenarioDesc,
+        /// Which mutation was injected (for failure diagnostics).
+        broke: &'static str,
+    },
+}
+
+/// The seeded description generator.
+#[derive(Debug)]
+pub struct DescFuzzer {
+    rng: Rng,
+}
+
+impl DescFuzzer {
+    /// A fuzzer whose whole output stream is pinned by `seed`.
+    pub fn new(seed: u64) -> Self {
+        DescFuzzer {
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next case.
+    pub fn next_case(&mut self) -> FuzzCase {
+        let desc = self.gen_valid();
+        if self.rng.ratio(1, 8) {
+            let (desc, broke) = self.break_one(desc);
+            FuzzCase::Invalid { desc, broke }
+        } else {
+            FuzzCase::Valid(desc)
+        }
+    }
+
+    /// A random description inside every modelled bound: any mediator and
+    /// fabric shape, permuted APB slots, 1–8 links, 4–16 SCM lines,
+    /// 20–200 MHz. The stimulus is arranged so every readout actuates
+    /// (a constant level above threshold, or the always-actuating
+    /// single-RMW program), keeping the differential measurable.
+    fn gen_valid(&mut self) -> ScenarioDesc {
+        let mut desc = ScenarioDesc::default();
+        let system = &mut desc.system;
+        system.freq = Frequency::from_period_ps(self.rng.range_u64(5_000, 50_000));
+        system.pels.links = self.rng.range_u64(1, 8) as usize;
+        system.pels.scm_lines = self.rng.range_u64(4, 16) as usize;
+        system.pels.fifo_depth = self.rng.range_u64(1, 8) as usize;
+        system.topology = if self.rng.bool() {
+            Topology::Shared
+        } else {
+            Topology::PerSlaveCrossbar
+        };
+        system.arbiter = if self.rng.bool() {
+            ArbiterKind::RoundRobin
+        } else {
+            ArbiterKind::FixedPriority
+        };
+
+        // Shuffle the seven instances across the seven canonical slots.
+        let n = system.peripherals.len();
+        for i in (1..n).rev() {
+            let j = self.rng.index(i + 1);
+            let (a, b) = (system.peripherals[i].offset, system.peripherals[j].offset);
+            system.peripherals[i].offset = b;
+            system.peripherals[j].offset = a;
+        }
+        debug_assert!(system
+            .peripherals
+            .iter()
+            .all(|p| p.offset % APB_STRIDE == 0));
+        system.set_spi_clkdiv(self.rng.range_u64(1, 4) as u32);
+        system.set_adc_conversion_cycles(self.rng.range_u64(4, 32) as u32);
+
+        desc.mediator = match self.rng.index(3) {
+            0 => Mediator::PelsSequenced,
+            1 => Mediator::PelsInstant,
+            _ => Mediator::IbexIrq,
+        };
+        desc.events = self.rng.range_u64(1, 4) as u32;
+        desc.spi_words = self.rng.range_u64(1, 2) as u32;
+        // Express the sample period in whole cycles of the drawn clock so
+        // every readout chain comfortably fits one period.
+        let cycles = self.rng.range_u64(96, 256);
+        desc.sample_period = SimTime::from_ps(cycles * desc.system.freq.period_ps());
+        desc.threshold_level = self.rng.range_u64(5, 30) as f64 / 10.0;
+
+        let pels_mediated = desc.mediator != Mediator::IbexIrq;
+        if pels_mediated && self.rng.ratio(1, 4) {
+            // The single-RMW program actuates on every trigger, so any
+            // stimulus shape is measurable.
+            desc.rmw_only = true;
+            desc.system.sensor = match self.rng.index(4) {
+                0 => SensorKind::Ramp {
+                    start: 0.2,
+                    slope_per_us: self.rng.range_u64(1, 5) as f64 / 10.0,
+                },
+                1 => SensorKind::NoisyRamp {
+                    start: 0.2,
+                    slope_per_us: self.rng.range_u64(1, 5) as f64 / 10.0,
+                    sigma: 0.05,
+                    seed: u64::from(self.rng.next_u32()),
+                },
+                2 => SensorKind::Sine {
+                    offset: 1.6,
+                    amplitude: self.rng.range_u64(1, 10) as f64 / 10.0,
+                    freq_hz: self.rng.range_u64(10_000, 1_000_000) as f64,
+                },
+                _ => SensorKind::Constant(self.rng.range_u64(0, 33) as f64 / 10.0),
+            };
+        } else {
+            // Threshold-check program: hold the level above threshold so
+            // every readout actuates.
+            desc.system.sensor = SensorKind::Constant(desc.threshold_level + 0.3);
+        }
+        desc
+    }
+
+    /// Injects one invalid mutation that [`ScenarioDesc::validate`] must
+    /// catch.
+    fn break_one(&mut self, mut desc: ScenarioDesc) -> (ScenarioDesc, &'static str) {
+        let broke = match self.rng.index(8) {
+            0 => {
+                desc.events = 0;
+                "events = 0"
+            }
+            1 => {
+                desc.system.set_spi_clkdiv(0);
+                "spi clkdiv = 0"
+            }
+            2 => {
+                desc.system.pels.links = 0;
+                "links = 0"
+            }
+            3 => {
+                desc.system.pels.links = 65;
+                "links = 65"
+            }
+            4 => {
+                desc.system.peripherals[6].offset = desc.system.peripherals[0].offset;
+                "duplicate APB slot"
+            }
+            5 => {
+                desc.system.peripherals[3].offset += 12;
+                "misaligned APB slot"
+            }
+            6 => {
+                desc.sample_period = SimTime::ZERO;
+                "sample_period = 0"
+            }
+            _ => {
+                desc.system.pels.scm_lines = 513;
+                "scm_lines = 513"
+            }
+        };
+        (desc, broke)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzzer_is_deterministic_and_mixes_cases() {
+        let mut a = DescFuzzer::new(42);
+        let mut b = DescFuzzer::new(42);
+        let (mut valid, mut invalid) = (0, 0);
+        for _ in 0..64 {
+            let (ca, cb) = (a.next_case(), b.next_case());
+            match (&ca, &cb) {
+                (FuzzCase::Valid(da), FuzzCase::Valid(db)) => {
+                    assert_eq!(da, db);
+                    da.validate().expect("generated desc must validate");
+                    valid += 1;
+                }
+                (
+                    FuzzCase::Invalid { desc: da, broke },
+                    FuzzCase::Invalid { desc: db, .. },
+                ) => {
+                    assert_eq!(da, db);
+                    let e = da.validate().expect_err(broke);
+                    assert!(!e.path.is_empty(), "{broke}: {e}");
+                    invalid += 1;
+                }
+                _ => panic!("same seed drew different case kinds"),
+            }
+        }
+        assert!(valid >= 40, "only {valid} valid cases in 64 draws");
+        assert!(invalid >= 2, "only {invalid} invalid cases in 64 draws");
+    }
+}

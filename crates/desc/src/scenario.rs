@@ -1,0 +1,183 @@
+//! The workload half of a description: who mediates, the stimulus, how
+//! much to measure, and how to run it.
+
+use crate::error::DescError;
+use crate::kinds::{ExecMode, Mediator, SensorKind};
+use crate::system::SystemDesc;
+use pels_core::PelsConfig;
+use pels_sim::{Frequency, SimTime};
+
+/// A validated, serializable description of one evaluation run: the
+/// [`SystemDesc`] it executes on plus the workload knobs (mediator,
+/// threshold, readout shape, event count, execution mode, observability).
+///
+/// `Scenario::from_desc` (in `pels-soc`) is the canonical way to turn one
+/// into a runnable scenario; the legacy `ScenarioBuilder` setters are
+/// thin wrappers mutating one of these. JSON round-trips are lossless:
+/// `ScenarioDesc::from_json(d.to_json()) == d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDesc {
+    /// The platform the scenario runs on.
+    pub system: SystemDesc,
+    /// Who mediates the linking event.
+    pub mediator: Mediator,
+    /// Analog threshold level (V); the default sensor's constant level
+    /// sits above it so every readout actuates.
+    pub threshold_level: f64,
+    /// Wall-clock interval between sensor readouts (the sensor's sample
+    /// rate is a property of the application, not of the mediator's
+    /// clock).
+    pub sample_period: SimTime,
+    /// Words per SPI readout.
+    pub spi_words: u32,
+    /// Linking events to measure.
+    pub events: u32,
+    /// `true` → the link runs the minimal single-RMW/action program (the
+    /// latency-table measurement); `false` → the full Figure 3 threshold
+    /// check (the Figure 5 power workload).
+    pub rmw_only: bool,
+    /// Land readout data in L2 through the SPI µDMA channel.
+    pub use_udma: bool,
+    /// Which simulation path to run on (fast / single-step / naive); all
+    /// three are observationally identical.
+    pub exec: ExecMode,
+    /// Collect an observability metrics snapshot with the report.
+    /// Publishing happens after the simulation windows complete, so the
+    /// setting cannot perturb architectural results
+    /// (`tests/obs_invariance.rs`).
+    pub obs: bool,
+    /// Nominal sampling-window width (in cycles) for the activity
+    /// timeline of the active run; `0` disables sampling.
+    pub timeline_window: u64,
+}
+
+impl Default for ScenarioDesc {
+    /// The paper's common base workload on the default platform: 2.5 V
+    /// sensor vs 1.6 V threshold, 1 µs sample period, 2-word DMA
+    /// readouts, 20 events, sequenced-action mediation.
+    fn default() -> Self {
+        ScenarioDesc {
+            system: SystemDesc::default(),
+            mediator: Mediator::PelsSequenced,
+            threshold_level: 1.6,
+            sample_period: SimTime::from_ns(1000),
+            spi_words: 2,
+            events: 20,
+            rmw_only: false,
+            use_udma: true,
+            exec: ExecMode::Fast,
+            obs: false,
+            timeline_window: 0,
+        }
+    }
+}
+
+impl ScenarioDesc {
+    /// The system clock (of the mediating system).
+    pub fn freq(&self) -> Frequency {
+        self.system.freq
+    }
+
+    /// The analog source.
+    pub fn sensor(&self) -> SensorKind {
+        self.system.sensor
+    }
+
+    /// The SPI cycles-per-word divider of the described system.
+    pub fn spi_clkdiv(&self) -> u32 {
+        self.system.spi_clkdiv()
+    }
+
+    /// The PELS configuration of the described system (loopback left to
+    /// the SoC assembly).
+    pub fn pels(&self) -> PelsConfig {
+        self.system.pels.to_config()
+    }
+
+    /// The sample period in cycles of this scenario's clock.
+    pub fn timer_period_cycles(&self) -> u32 {
+        (self.sample_period.as_ps() / self.system.freq.period_ps()) as u32
+    }
+
+    /// The sensor threshold as a 12-bit code.
+    pub fn threshold_code(&self) -> u32 {
+        SensorKind::code_for_level(self.threshold_level)
+    }
+
+    /// Checks the description describes a runnable, measurable scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`DescError`] with the JSON path of the first offending value:
+    /// zero events / SPI words / sample period, the interrupt baseline
+    /// without µDMA, or any [`SystemDesc::validate`] failure (reported
+    /// under `/system`).
+    pub fn validate(&self) -> Result<(), DescError> {
+        if self.events == 0 {
+            return Err(DescError::new("/events", "events must be at least 1"));
+        }
+        if self.spi_words == 0 {
+            return Err(DescError::new("/spi_words", "spi_words must be at least 1"));
+        }
+        if self.sample_period.as_ps() == 0 {
+            return Err(DescError::new(
+                "/sample_period_ps",
+                "sample_period must be non-zero",
+            ));
+        }
+        if self.mediator == Mediator::IbexIrq && !self.use_udma {
+            return Err(DescError::new(
+                "/use_udma",
+                "the ibex-irq baseline requires use_udma (its handler reads the sample from L2)",
+            ));
+        }
+        self.system.validate_at("/system")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_desc_validates() {
+        let d = ScenarioDesc::default();
+        d.validate().expect("default scenario desc is valid");
+        // 1 µs at 55 MHz (period rounded to 18182 ps): 54 whole cycles.
+        assert_eq!(d.timer_period_cycles(), 54);
+        assert_eq!(d.spi_clkdiv(), 4);
+        assert_eq!(d.pels(), PelsConfig::default());
+    }
+
+    #[test]
+    fn validate_pins_paths() {
+        let d = ScenarioDesc {
+            events: 0,
+            ..ScenarioDesc::default()
+        };
+        assert_eq!(d.validate().unwrap_err().path, "/events");
+
+        let d = ScenarioDesc {
+            spi_words: 0,
+            ..ScenarioDesc::default()
+        };
+        assert_eq!(d.validate().unwrap_err().path, "/spi_words");
+
+        let d = ScenarioDesc {
+            sample_period: SimTime::ZERO,
+            ..ScenarioDesc::default()
+        };
+        assert_eq!(d.validate().unwrap_err().path, "/sample_period_ps");
+
+        let d = ScenarioDesc {
+            mediator: Mediator::IbexIrq,
+            use_udma: false,
+            ..ScenarioDesc::default()
+        };
+        assert_eq!(d.validate().unwrap_err().path, "/use_udma");
+
+        let mut d = ScenarioDesc::default();
+        d.system.pels.links = 99;
+        assert_eq!(d.validate().unwrap_err().path, "/system/pels/links");
+    }
+}

@@ -181,7 +181,7 @@ pub fn host_parallelism() -> usize {
 /// (active window) doubled for the matching idle window.
 fn scenario_weight(s: &Scenario) -> u64 {
     let per_event = u64::from(s.timer_period_cycles())
-        + u64::from(s.spi_words * s.spi_clkdiv)
+        + u64::from(s.spi_words * s.spi_clkdiv())
         + 64;
     2 * (u64::from(s.events) * per_event + 2_000)
 }

@@ -238,7 +238,7 @@ impl FleetReport {
                 Ok(o) => {
                     d.u64(1);
                     d.u64(mediator_tag(o.scenario.mediator));
-                    d.u64(o.scenario.freq.period_ps());
+                    d.u64(o.scenario.freq().period_ps());
                     d.u64(u64::from(o.scenario.events));
                     d.u64(u64::from(o.report.events_completed));
                     d.u64(o.report.latencies.len() as u64);

@@ -7,12 +7,19 @@
 
 use pels_interconnect::{ArbiterKind, Topology};
 use pels_sim::Frequency;
-use pels_soc::{Mediator, Scenario, ScenarioError};
+use pels_soc::{DescError, ExecMode, Mediator, Scenario, ScenarioDesc, ScenarioError};
+use std::path::Path;
 
-/// A cartesian product of sweep axes over the base evaluation workload.
+/// A cartesian product of sweep axes over one or more base descriptions.
 ///
 /// Every axis defaults to a single paper operating point, so the empty
-/// spec expands to exactly one job; each setter widens one axis.
+/// spec expands to exactly one job; each setter widens one axis. The
+/// product is expanded over every *base* [`ScenarioDesc`]: by default the
+/// paper's base workload ([`ScenarioDesc::default`]), replaced by any
+/// descriptions added with [`SweepSpec::add_desc`] /
+/// [`SweepSpec::add_desc_file`] — the axes override the base's mediator,
+/// clock, link count, fabric shape and uniform switches, while the base
+/// supplies everything else (stimulus, readout shape, memory map, …).
 ///
 /// ```
 /// use pels_fleet::SweepSpec;
@@ -25,6 +32,7 @@ use pels_soc::{Mediator, Scenario, ScenarioError};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
+    bases: Vec<(String, ScenarioDesc)>,
     mediators: Vec<Mediator>,
     freqs_mhz: Vec<f64>,
     links: Vec<usize>,
@@ -34,12 +42,13 @@ pub struct SweepSpec {
     rmw_only: bool,
     obs: bool,
     timeline_window: u64,
-    force_single_step: bool,
+    exec: ExecMode,
 }
 
 impl Default for SweepSpec {
     fn default() -> Self {
         SweepSpec {
+            bases: Vec::new(),
             mediators: vec![Mediator::PelsSequenced],
             freqs_mhz: vec![55.0],
             links: vec![1],
@@ -49,7 +58,7 @@ impl Default for SweepSpec {
             rmw_only: false,
             obs: false,
             timeline_window: 0,
-            force_single_step: false,
+            exec: ExecMode::Fast,
         }
     }
 }
@@ -121,48 +130,103 @@ impl SweepSpec {
         self
     }
 
-    /// `true` → every job disables CPU superblock execution
-    /// ([`pels_soc::Scenario::force_single_step`]). Applied uniformly —
-    /// a host-speed switch, not a sweep axis. Superblocks never perturb
-    /// results, so the fleet digest is invariant under this setting
+    /// Host-side execution strategy every job runs under
+    /// ([`pels_soc::ExecMode`]). Applied uniformly — a host-speed switch,
+    /// not a sweep axis. The strategy never perturbs results, so the
+    /// fleet digest is invariant under this setting
     /// (`tests/obs_invariance.rs`).
-    pub fn force_single_step(mut self, force_single_step: bool) -> Self {
-        self.force_single_step = force_single_step;
+    pub fn exec_mode(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 
-    /// Expands the cartesian product into labelled scenarios, in a fixed
-    /// deterministic order (mediator-major, arbiter-minor). Labels encode
-    /// every axis value, so they are unique within the sweep.
+    /// `true` → every job disables CPU superblock execution.
+    #[deprecated(note = "use `exec_mode(ExecMode::SingleStep)`")]
+    pub fn force_single_step(mut self, force_single_step: bool) -> Self {
+        if force_single_step {
+            if self.exec == ExecMode::Fast {
+                self.exec = ExecMode::SingleStep;
+            }
+        } else if self.exec == ExecMode::SingleStep {
+            self.exec = ExecMode::Fast;
+        }
+        self
+    }
+
+    /// Appends a named base description the axes are expanded over.
+    /// Adding any base replaces the implicit paper-default base.
+    pub fn add_desc(mut self, name: impl Into<String>, desc: ScenarioDesc) -> Self {
+        self.bases.push((name.into(), desc));
+        self
+    }
+
+    /// Appends a base description loaded from a JSON file (see
+    /// [`ScenarioDesc::from_json`]); the base is named after the file
+    /// stem.
     ///
     /// # Errors
     ///
-    /// The first [`ScenarioError`] if an axis value fails builder
+    /// A [`DescError`] whose path is prefixed with the file path, for
+    /// unreadable files, malformed JSON or failed validation.
+    pub fn add_desc_file(self, path: impl AsRef<Path>) -> Result<Self, DescError> {
+        let path = path.as_ref();
+        let shown = path.display().to_string();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| DescError::new(shown.clone(), format!("cannot read file: {e}")))?;
+        let desc = ScenarioDesc::from_json(&text).map_err(|e| e.prefixed(&shown))?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| shown.clone());
+        Ok(self.add_desc(name, desc))
+    }
+
+    /// Expands the cartesian product into labelled scenarios, in a fixed
+    /// deterministic order (base-major, mediator, …, arbiter-minor).
+    /// Labels encode the base name (when set) and every axis value, so
+    /// they are unique within the sweep.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ScenarioError`] if an axis value fails description
     /// validation (e.g. `links` containing 0); no partial job list is
     /// returned.
     pub fn jobs(&self) -> Result<Vec<(String, Scenario)>, ScenarioError> {
+        let default_base = [(String::new(), ScenarioDesc::default())];
+        let bases: &[(String, ScenarioDesc)] = if self.bases.is_empty() {
+            &default_base
+        } else {
+            &self.bases
+        };
         let mut jobs = Vec::new();
-        for &mediator in &self.mediators {
-            for &mhz in &self.freqs_mhz {
-                for &links in &self.links {
-                    for &topology in &self.topologies {
-                        for &arbiter in &self.arbiters {
-                            let scenario = Scenario::builder()
-                                .mediator(mediator)
-                                .frequency(Frequency::from_mhz(mhz))
-                                .pels_links(links)
-                                .topology(topology)
-                                .arbiter(arbiter)
-                                .events(self.events)
-                                .rmw_only(self.rmw_only)
-                                .obs(self.obs)
-                                .timeline_window(self.timeline_window)
-                                .force_single_step(self.force_single_step)
-                                .build()?;
-                            let label = format!(
-                                "{mediator}@{mhz:.0}MHz links{links} {topology} {arbiter}"
-                            );
-                            jobs.push((label, scenario));
+        for (name, base) in bases {
+            for &mediator in &self.mediators {
+                for &mhz in &self.freqs_mhz {
+                    for &links in &self.links {
+                        for &topology in &self.topologies {
+                            for &arbiter in &self.arbiters {
+                                let mut desc = base.clone();
+                                desc.mediator = mediator;
+                                desc.system.freq = Frequency::from_mhz(mhz);
+                                desc.system.pels.links = links;
+                                desc.system.topology = topology;
+                                desc.system.arbiter = arbiter;
+                                desc.events = self.events;
+                                desc.rmw_only = self.rmw_only;
+                                desc.obs = self.obs;
+                                desc.timeline_window = self.timeline_window;
+                                desc.exec = self.exec;
+                                let scenario = Scenario::from_desc(desc)?;
+                                let prefix = if name.is_empty() {
+                                    String::new()
+                                } else {
+                                    format!("{name} ")
+                                };
+                                let label = format!(
+                                    "{prefix}{mediator}@{mhz:.0}MHz links{links} {topology} {arbiter}"
+                                );
+                                jobs.push((label, scenario));
+                            }
                         }
                     }
                 }
@@ -207,5 +271,37 @@ mod tests {
     fn invalid_axis_value_rejects_the_whole_spec() {
         let spec = SweepSpec::new().links(&[1, 0]);
         assert!(spec.jobs().is_err());
+    }
+
+    #[test]
+    fn desc_bases_replace_the_default_and_prefix_labels() {
+        let alt = ScenarioDesc {
+            spi_words: 1,
+            ..ScenarioDesc::default()
+        };
+        let spec = SweepSpec::new()
+            .add_desc("alt", alt)
+            .add_desc("base", ScenarioDesc::default());
+        let jobs = spec.jobs().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert!(jobs[0].0.starts_with("alt "), "label: {}", jobs[0].0);
+        assert!(jobs[1].0.starts_with("base "), "label: {}", jobs[1].0);
+        assert_eq!(jobs[0].1.spi_words, 1, "base supplies readout shape");
+        assert_eq!(jobs[1].1.spi_words, 2);
+        // Unnamed default base keeps legacy labels (digest stability).
+        let legacy = SweepSpec::new().jobs().unwrap();
+        assert!(legacy[0].0.starts_with("pels-sequenced@55MHz"));
+    }
+
+    #[test]
+    fn exec_mode_is_uniform_and_shim_maps_to_it() {
+        let jobs = SweepSpec::new()
+            .exec_mode(ExecMode::SingleStep)
+            .jobs()
+            .unwrap();
+        assert_eq!(jobs[0].1.exec, ExecMode::SingleStep);
+        #[allow(deprecated)]
+        let shimmed = SweepSpec::new().force_single_step(true).jobs().unwrap();
+        assert_eq!(shimmed[0].1.exec, ExecMode::SingleStep);
     }
 }

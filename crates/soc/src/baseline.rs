@@ -58,15 +58,27 @@ impl ProgramImage {
 
 /// Builds the complete baseline image for a threshold of `threshold`
 /// (12-bit sensor code) toggling GPIO pin 0 on crossings, with a
-/// `dma_size_bytes`-byte µDMA RX buffer re-armed by every handler run.
+/// `dma_size_bytes`-byte µDMA RX buffer re-armed by every handler run,
+/// on the canonical memory map.
 ///
 /// Boot: preload bases/constants, set `mtvec` (vectored), enable the
 /// SPI-EOT fast interrupt, enable `mstatus.MIE`, then `wfi` in a loop.
 pub fn threshold_irq_image(threshold: u32, dma_size_bytes: u32) -> ProgramImage {
+    threshold_irq_image_at(threshold, dma_size_bytes, SPI_OFFSET, GPIO_OFFSET)
+}
+
+/// [`threshold_irq_image`] for a description-chosen memory map: the SPI
+/// and GPIO instances sit on the given APB slot offsets.
+pub fn threshold_irq_image_at(
+    threshold: u32,
+    dma_size_bytes: u32,
+    spi_offset: u32,
+    gpio_offset: u32,
+) -> ProgramImage {
     let mut boot = Vec::new();
-    boot.extend(asm::li32(reg::SPI_BASE, apb_reg(SPI_OFFSET, 0)));
+    boot.extend(asm::li32(reg::SPI_BASE, apb_reg(spi_offset, 0)));
     boot.extend(asm::li32(reg::THRESHOLD, threshold));
-    boot.extend(asm::li32(reg::GPIO_BASE, apb_reg(GPIO_OFFSET, 0)));
+    boot.extend(asm::li32(reg::GPIO_BASE, apb_reg(gpio_offset, 0)));
     boot.extend(asm::li32(reg::PIN_MASK, 1));
     boot.extend(asm::li32(reg::DMA_SIZE, dma_size_bytes));
     // Vectored mtvec (bit 0 set, Ibex style).

@@ -36,11 +36,15 @@
 
 pub mod baseline;
 pub mod event_map;
-pub mod mem_map;
 pub mod power_setup;
 pub mod scenario;
 pub mod soc;
 
+/// The SoC address map (now owned by `pels-desc`, re-exported for
+/// compatibility).
+pub use pels_desc::mem_map;
+
+pub use pels_desc::{DescError, ExecMode, ScenarioDesc, SystemDesc};
 pub use scenario::{
     LinkingStats, Mediator, Scenario, ScenarioBuilder, ScenarioError, ScenarioReport,
 };

@@ -21,11 +21,13 @@ use crate::mem_map::*;
 use crate::power_setup;
 use crate::soc::{ConfigError, SchedStats, SensorKind, Soc, SocBuilder};
 use pels_core::{ActionMode, Command, Cond, PelsConfig, Program, TriggerCond};
+use pels_desc::{DescError, ExecMode, ScenarioDesc};
 use pels_interconnect::{ApbSlave, ArbiterKind, Topology};
 use pels_periph::{Spi, Timer};
 use pels_power::{PowerModel, PowerReport};
 use pels_sim::{ActivitySet, EventVector, Frequency, SimTime, Trace};
 use std::fmt;
+use std::ops::Deref;
 
 /// Why a [`Scenario`] could not be built — or, at run time, why it
 /// produced no measurement.
@@ -51,6 +53,9 @@ pub enum ScenarioError {
     /// The SoC configuration itself was invalid (zero links / SCM lines /
     /// clkdiv).
     Config(ConfigError),
+    /// Any other [`ScenarioDesc::validate`] failure, with the JSON path
+    /// of the offending value.
+    Desc(DescError),
     /// The run completed no linking event inside its cycle budget — a
     /// mis-targeted threshold, a mis-wired link, or a budget too small.
     NoEvents {
@@ -73,6 +78,7 @@ impl fmt::Display for ScenarioError {
                 f.write_str("the ibex-irq baseline requires use_udma (its handler reads the sample from L2)")
             }
             ScenarioError::Config(e) => write!(f, "invalid SoC configuration: {e}"),
+            ScenarioError::Desc(e) => write!(f, "invalid description: {e}"),
             ScenarioError::NoEvents { mediator, budget } => write!(
                 f,
                 "no linking event completed for {mediator} within {budget} cycles"
@@ -85,6 +91,7 @@ impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioError::Config(e) => Some(e),
+            ScenarioError::Desc(e) => Some(e),
             _ => None,
         }
     }
@@ -96,27 +103,9 @@ impl From<ConfigError> for ScenarioError {
     }
 }
 
-/// Who mediates the linking event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Mediator {
-    /// PELS issues the actuation over the interconnect (sequenced
-    /// action).
-    PelsSequenced,
-    /// PELS actuates through a single-wire event line (instant action).
-    PelsInstant,
-    /// The Ibex-class core handles an interrupt (the paper's baseline).
-    IbexIrq,
-}
-
-impl fmt::Display for Mediator {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Mediator::PelsSequenced => f.write_str("pels-sequenced"),
-            Mediator::PelsInstant => f.write_str("pels-instant"),
-            Mediator::IbexIrq => f.write_str("ibex-irq"),
-        }
-    }
-}
+/// Who mediates the linking event (now owned by `pels-desc`, re-exported
+/// for compatibility).
+pub use pels_desc::Mediator;
 
 /// Per-event latency statistics (in mediator-clock cycles).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,74 +158,29 @@ impl LinkingStats {
     }
 }
 
-/// One evaluation run description.
+/// One evaluation run: a validated [`ScenarioDesc`] plus the machinery to
+/// execute it.
 ///
-/// The canonical way to obtain one is [`Scenario::builder`] (or the
-/// preset shorthands [`Scenario::iso_latency`] /
-/// [`Scenario::iso_frequency`] / [`Scenario::latency_probe`], which wrap
-/// it): the builder validates the configuration, so a `Scenario` in hand
-/// is always runnable. The fields stay public for *reading* — reports
-/// and sweeps inspect them freely — but mutating them bypasses
-/// validation; route changes through the builder instead.
-#[derive(Debug, Clone)]
+/// The canonical ways to obtain one are [`Scenario::from_desc`] (from a
+/// description, possibly loaded via [`ScenarioDesc::from_json`]) and
+/// [`Scenario::builder`] (or the preset shorthands
+/// [`Scenario::iso_latency`] / [`Scenario::iso_frequency`] /
+/// [`Scenario::latency_probe`], which wrap it). Every path validates, so
+/// a `Scenario` in hand is always runnable. The scenario [`Deref`]s to
+/// its description for *reading* (`s.events`, `s.mediator`,
+/// `s.system.topology`, …); mutation routes through
+/// [`Scenario::to_builder`] so it cannot bypass validation.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Who mediates.
-    pub mediator: Mediator,
-    /// System clock.
-    pub freq: Frequency,
-    /// Analog threshold level (V); the sensor's constant level sits above
-    /// it so every readout actuates.
-    pub threshold_level: f64,
-    /// The analog source.
-    pub sensor: SensorKind,
-    /// Wall-clock interval between sensor readouts (the sensor's sample
-    /// rate is a property of the application, not of the mediator's
-    /// clock).
-    pub sample_period: SimTime,
-    /// Words per SPI readout.
-    pub spi_words: u32,
-    /// SPI cycles per word.
-    pub spi_clkdiv: u32,
-    /// Linking events to measure.
-    pub events: u32,
-    /// PELS configuration.
-    pub pels: PelsConfig,
-    /// `true` → the link runs the minimal single-RMW/action program (the
-    /// latency-table measurement); `false` → the full Figure 3 threshold
-    /// check (the Figure 5 power workload).
-    pub rmw_only: bool,
-    /// Land readout data in L2 through the SPI µDMA channel.
-    pub use_udma: bool,
-    /// Fabric topology (shared APB vs per-slave crossbar) — a sweep axis
-    /// of Section III-1.
-    pub topology: Topology,
-    /// Arbitration policy (round-robin vs fixed-priority).
-    pub arbiter: ArbiterKind,
-    /// Run on the reference path: naive every-cycle peripheral ticking
-    /// and no decoded-instruction cache. Observationally identical to the
-    /// fast path (the differential tests prove it) but much slower — the
-    /// switch exists *for* those tests and for before/after benchmarks.
-    pub force_naive: bool,
-    /// Disable CPU superblock execution only, keeping active-slave
-    /// scheduling and the decode cache: the CPU retires one instruction
-    /// per scheduler visit. The reference point for the superblock
-    /// differential suite (`force_naive` implies it — the naive path
-    /// disables every accelerator). Observationally identical to the
-    /// default (the differential tests prove it).
-    pub force_single_step: bool,
-    /// Collect an observability metrics snapshot
-    /// ([`ScenarioReport::metrics`]) at the end of the run. Publishing
-    /// happens *after* the simulation windows complete, so the setting
-    /// cannot perturb architectural results (`tests/obs_invariance.rs`
-    /// proves obs-on and obs-off runs are bit-identical). Default false.
-    pub obs: bool,
-    /// Nominal sampling-window width (in cycles) for the activity
-    /// timeline of the active run; `0` (the default) disables sampling.
-    /// Sampling is passive — windows close at run-loop observation
-    /// points, never inside a quiescence skip — so every architectural
-    /// result is bit-identical with sampling on or off
-    /// (`tests/obs_invariance.rs`).
-    pub timeline_window: u64,
+    desc: ScenarioDesc,
+}
+
+impl Deref for Scenario {
+    type Target = ScenarioDesc;
+
+    fn deref(&self) -> &ScenarioDesc {
+        &self.desc
+    }
 }
 
 /// Chained, validating constructor for [`Scenario`] — the canonical
@@ -258,39 +202,14 @@ pub struct Scenario {
 /// assert_eq!(s.events, 8);
 /// assert!(Scenario::builder().events(0).build().is_err());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ScenarioBuilder {
-    draft: Scenario,
-}
-
-impl Default for ScenarioBuilder {
-    fn default() -> Self {
-        ScenarioBuilder {
-            draft: Scenario {
-                mediator: Mediator::PelsSequenced,
-                freq: Frequency::from_mhz(55.0),
-                threshold_level: 1.6,
-                sensor: SensorKind::Constant(2.5),
-                sample_period: SimTime::from_ns(1000),
-                spi_words: 2,
-                spi_clkdiv: 4,
-                events: 20,
-                pels: PelsConfig::default(),
-                rmw_only: false,
-                use_udma: true,
-                topology: Topology::Shared,
-                arbiter: ArbiterKind::RoundRobin,
-                force_naive: false,
-                force_single_step: false,
-                obs: false,
-                timeline_window: 0,
-            },
-        }
-    }
+    draft: ScenarioDesc,
 }
 
 impl ScenarioBuilder {
-    /// Starts from the common base workload.
+    /// Starts from the common base workload
+    /// ([`ScenarioDesc::default`]).
     pub fn new() -> Self {
         Self::default()
     }
@@ -303,7 +222,7 @@ impl ScenarioBuilder {
 
     /// Sets the system clock.
     pub fn frequency(mut self, freq: Frequency) -> Self {
-        self.draft.freq = freq;
+        self.draft.system.freq = freq;
         self
     }
 
@@ -315,7 +234,7 @@ impl ScenarioBuilder {
 
     /// Selects the analog source.
     pub fn sensor(mut self, sensor: SensorKind) -> Self {
-        self.draft.sensor = sensor;
+        self.draft.system.sensor = sensor;
         self
     }
 
@@ -333,7 +252,7 @@ impl ScenarioBuilder {
 
     /// Sets the SPI cycles-per-word divider.
     pub fn spi_clkdiv(mut self, clkdiv: u32) -> Self {
-        self.draft.spi_clkdiv = clkdiv;
+        self.draft.system.set_spi_clkdiv(clkdiv);
         self
     }
 
@@ -343,27 +262,28 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Replaces the whole PELS configuration.
+    /// Replaces the whole PELS configuration (the loopback window is
+    /// assembly-owned and ignored).
     pub fn pels(mut self, pels: PelsConfig) -> Self {
-        self.draft.pels = pels;
+        self.draft.system.pels = pels_desc::PelsDesc::from_config(&pels);
         self
     }
 
     /// Sets the number of PELS links.
     pub fn pels_links(mut self, links: usize) -> Self {
-        self.draft.pels.links = links;
+        self.draft.system.pels.links = links;
         self
     }
 
     /// Sets the SCM lines per link.
     pub fn scm_lines(mut self, lines: usize) -> Self {
-        self.draft.pels.scm_lines = lines;
+        self.draft.system.pels.scm_lines = lines;
         self
     }
 
     /// Sets the per-link trigger-FIFO depth.
     pub fn fifo_depth(mut self, depth: usize) -> Self {
-        self.draft.pels.fifo_depth = depth;
+        self.draft.system.pels.fifo_depth = depth;
         self
     }
 
@@ -382,34 +302,53 @@ impl ScenarioBuilder {
 
     /// Selects the fabric topology.
     pub fn topology(mut self, topology: Topology) -> Self {
-        self.draft.topology = topology;
+        self.draft.system.topology = topology;
         self
     }
 
     /// Selects the arbitration policy.
     pub fn arbiter(mut self, arbiter: ArbiterKind) -> Self {
-        self.draft.arbiter = arbiter;
+        self.draft.system.arbiter = arbiter;
+        self
+    }
+
+    /// Selects which simulation path the run executes on. All modes are
+    /// observationally identical (the differential suites prove it);
+    /// the slow ones exist for those suites and for before/after
+    /// benchmarks.
+    pub fn exec_mode(mut self, exec: ExecMode) -> Self {
+        self.draft.exec = exec;
         self
     }
 
     /// Forces the reference simulation path (naive scheduling, no decode
-    /// cache) — for differential tests and before/after benchmarks.
+    /// cache).
+    #[deprecated(note = "use `exec_mode(ExecMode::Naive)`")]
     pub fn force_naive(mut self, force_naive: bool) -> Self {
-        self.draft.force_naive = force_naive;
+        if force_naive {
+            self.draft.exec = ExecMode::Naive;
+        } else if self.draft.exec == ExecMode::Naive {
+            self.draft.exec = ExecMode::Fast;
+        }
         self
     }
 
     /// Disables CPU superblock execution only (single-instruction
-    /// scheduler visits), keeping the other fast-path accelerators — the
-    /// superblock differential reference (see
-    /// [`Scenario::force_single_step`]).
+    /// scheduler visits), keeping the other fast-path accelerators.
+    #[deprecated(note = "use `exec_mode(ExecMode::SingleStep)`")]
     pub fn force_single_step(mut self, force_single_step: bool) -> Self {
-        self.draft.force_single_step = force_single_step;
+        if force_single_step {
+            if self.draft.exec == ExecMode::Fast {
+                self.draft.exec = ExecMode::SingleStep;
+            }
+        } else if self.draft.exec == ExecMode::SingleStep {
+            self.draft.exec = ExecMode::Fast;
+        }
         self
     }
 
     /// Collects an observability metrics snapshot with the report (see
-    /// [`Scenario::obs`]).
+    /// [`ScenarioDesc::obs`]).
     pub fn obs(mut self, obs: bool) -> Self {
         self.draft.obs = obs;
         self
@@ -417,53 +356,76 @@ impl ScenarioBuilder {
 
     /// Samples a windowed activity timeline of the active run with the
     /// given nominal window width in cycles; `0` disables sampling (see
-    /// [`Scenario::timeline_window`]).
+    /// [`ScenarioDesc::timeline_window`]).
     pub fn timeline_window(mut self, window_cycles: u64) -> Self {
         self.draft.timeline_window = window_cycles;
         self
     }
 
-    /// Validates and produces the scenario.
+    /// Validates and produces the scenario
+    /// (= [`Scenario::from_desc`] on the accumulated draft).
     ///
     /// # Errors
     ///
     /// [`ScenarioError::ZeroEvents`] / [`ScenarioError::ZeroSpiWords`] /
     /// [`ScenarioError::ZeroSamplePeriod`] for unmeasurable workloads,
     /// [`ScenarioError::IrqNeedsUdma`] for the interrupt baseline without
-    /// µDMA, and [`ScenarioError::Config`] for an invalid PELS/SoC
-    /// geometry.
+    /// µDMA, [`ScenarioError::Config`] for an invalid PELS/SoC geometry,
+    /// and [`ScenarioError::Desc`] for anything else
+    /// [`ScenarioDesc::validate`] rejects.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
-        let s = self.draft;
-        if s.events == 0 {
-            return Err(ScenarioError::ZeroEvents);
-        }
-        if s.spi_words == 0 {
-            return Err(ScenarioError::ZeroSpiWords);
-        }
-        if s.sample_period.as_ps() == 0 {
-            return Err(ScenarioError::ZeroSamplePeriod);
-        }
-        if s.mediator == Mediator::IbexIrq && !s.use_udma {
-            return Err(ScenarioError::IrqNeedsUdma);
-        }
-        if s.pels.links == 0 {
-            return Err(ConfigError::ZeroLinks.into());
-        }
-        if s.pels.scm_lines == 0 {
-            return Err(ConfigError::ZeroScmLines.into());
-        }
-        if s.spi_clkdiv == 0 {
-            return Err(ConfigError::ZeroClkdiv.into());
-        }
-        Ok(s)
+        Scenario::from_desc(self.draft)
     }
 }
 
 impl Scenario {
     /// Starts a [`ScenarioBuilder`] from the common base workload — the
-    /// canonical way to construct a scenario.
+    /// setter-style way to construct a scenario.
     pub fn builder() -> ScenarioBuilder {
         ScenarioBuilder::new()
+    }
+
+    /// The canonical entry point: validates `desc` and wraps it as a
+    /// runnable scenario. [`ScenarioBuilder`] is a thin setter layer over
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// The legacy unmeasurable-workload checks keep their legacy variants
+    /// (zero events / SPI words / sample period, the interrupt baseline
+    /// without µDMA, zero links / SCM lines / clkdiv); everything else
+    /// [`ScenarioDesc::validate`] catches is reported as
+    /// [`ScenarioError::Desc`] with the JSON path of the offending value.
+    pub fn from_desc(desc: ScenarioDesc) -> Result<Self, ScenarioError> {
+        if desc.events == 0 {
+            return Err(ScenarioError::ZeroEvents);
+        }
+        if desc.spi_words == 0 {
+            return Err(ScenarioError::ZeroSpiWords);
+        }
+        if desc.sample_period.as_ps() == 0 {
+            return Err(ScenarioError::ZeroSamplePeriod);
+        }
+        if desc.mediator == Mediator::IbexIrq && !desc.use_udma {
+            return Err(ScenarioError::IrqNeedsUdma);
+        }
+        if desc.system.pels.links == 0 {
+            return Err(ConfigError::ZeroLinks.into());
+        }
+        if desc.system.pels.scm_lines == 0 {
+            return Err(ConfigError::ZeroScmLines.into());
+        }
+        if desc.spi_clkdiv() == 0 {
+            return Err(ConfigError::ZeroClkdiv.into());
+        }
+        desc.validate().map_err(ScenarioError::Desc)?;
+        Ok(Scenario { desc })
+    }
+
+    /// The scenario's description — e.g. for serialization via
+    /// [`ScenarioDesc::to_json`].
+    pub fn desc(&self) -> &ScenarioDesc {
+        &self.desc
     }
 
     /// Iso-latency operating point (paper: 500 ns budget — PELS at
@@ -502,28 +464,19 @@ impl Scenario {
     /// without mutating fields in place.
     pub fn to_builder(&self) -> ScenarioBuilder {
         ScenarioBuilder {
-            draft: self.clone(),
+            draft: self.desc.clone(),
         }
     }
 
-    /// The sample period in cycles of this scenario's clock.
-    pub fn timer_period_cycles(&self) -> u32 {
-        (self.sample_period.as_ps() / self.freq.period_ps()) as u32
-    }
-
-    /// The sensor threshold as a 12-bit code.
-    pub fn threshold_code(&self) -> u32 {
-        SensorKind::code_for_level(self.threshold_level)
-    }
-
-    /// The PELS microcode for this scenario.
+    /// The PELS microcode for this scenario, targeting the described
+    /// system's memory map.
     ///
     /// # Panics
     ///
     /// Panics if called for the Ibex mediator.
     pub fn link_program(&self) -> Program {
         let toggle = Command::Toggle {
-            offset: pels_word_offset(GPIO_OFFSET, pels_periph::Gpio::PADOUT),
+            offset: pels_word_offset(self.system.gpio_offset(), pels_periph::Gpio::PADOUT),
             mask: 1,
         };
         let pulse = Command::Action {
@@ -544,7 +497,7 @@ impl Scenario {
             // on the measured path).
             vec![
                 Command::Capture {
-                    offset: pels_word_offset(SPI_OFFSET, Spi::LAST),
+                    offset: pels_word_offset(self.system.spi_offset(), Spi::LAST),
                     mask: 0xFFF,
                 },
                 Command::JumpIf {
@@ -559,17 +512,13 @@ impl Scenario {
         Program::new(cmds).expect("scenario programs are valid by construction")
     }
 
-    fn build_soc(&self) -> Soc {
-        let mut soc = SocBuilder::new()
-            .frequency(self.freq)
-            .pels_links(self.pels.links)
-            .scm_lines(self.pels.scm_lines)
-            .fifo_depth(self.pels.fifo_depth)
-            .sensor(self.sensor)
-            .spi_clkdiv(self.spi_clkdiv)
-            .topology(self.topology)
-            .arbiter(self.arbiter)
-            .build();
+    /// Assembles the described SoC, loads the mediation program (PELS
+    /// microcode or the interrupt-baseline image), arms the readout chain
+    /// and applies the execution mode. [`Scenario::try_run`] drives this;
+    /// it is public so harnesses (examples, differential tests) can step
+    /// the system manually.
+    pub fn build_soc(&self) -> Soc {
+        let mut soc = SocBuilder::from_desc(self.system.clone()).build();
 
         match self.mediator {
             Mediator::PelsSequenced | Mediator::PelsInstant => {
@@ -587,9 +536,11 @@ impl Scenario {
             }
             Mediator::IbexIrq => {
                 soc.pels_mut().set_enabled(false);
-                let image = baseline::threshold_irq_image(
+                let image = baseline::threshold_irq_image_at(
                     self.threshold_code(),
                     self.spi_words * 4,
+                    self.system.spi_offset(),
+                    self.system.gpio_offset(),
                 );
                 for (addr, words) in &image.segments {
                     soc.load_program(*addr, words);
@@ -612,14 +563,19 @@ impl Scenario {
                 .write(Spi::UDMA_SIZE, self.spi_words * 4)
                 .unwrap();
         }
-        if self.force_naive || self.force_single_step {
-            // The naive reference path disables every accelerator, the
-            // single-step switch only the superblock layer.
-            soc.cpu_mut().set_superblocks_enabled(false);
-        }
-        if self.force_naive {
-            soc.set_naive_scheduling(true);
-            soc.cpu_mut().set_decode_cache_enabled(false);
+        match self.exec {
+            ExecMode::Fast => {}
+            ExecMode::SingleStep => {
+                // Superblocks off only: the CPU retires one instruction
+                // per scheduler visit, every other accelerator stays on.
+                soc.cpu_mut().set_superblocks_enabled(false);
+            }
+            ExecMode::Naive => {
+                // The reference path disables every accelerator.
+                soc.cpu_mut().set_superblocks_enabled(false);
+                soc.set_naive_scheduling(true);
+                soc.cpu_mut().set_decode_cache_enabled(false);
+            }
         }
         soc
     }
@@ -660,7 +616,7 @@ impl Scenario {
         }
         Self::arm_timer(&mut soc, self.timer_period_cycles());
         let per_event = u64::from(self.timer_period_cycles())
-            + u64::from(self.spi_words * self.spi_clkdiv)
+            + u64::from(self.spi_words * self.spi_clkdiv())
             + 64;
         let budget = u64::from(self.events) * per_event + 2_000;
         let marker = self.completion_marker();
@@ -693,7 +649,7 @@ impl Scenario {
             .trace()
             .latencies_all(("spi", "eot"), marker)
             .into_iter()
-            .map(|t| t.as_ps() / self.freq.period_ps())
+            .map(|t| t.as_ps() / self.freq().period_ps())
             .collect();
         let stats = LinkingStats::from_cycles(&latencies).ok_or(ScenarioError::NoEvents {
             mediator: self.mediator,
@@ -717,7 +673,7 @@ impl Scenario {
 
         Ok(ScenarioReport {
             mediator: self.mediator,
-            freq: self.freq,
+            freq: self.freq(),
             latencies,
             stats,
             latency_hist,
@@ -727,7 +683,7 @@ impl Scenario {
             active_window: window,
             idle_activity,
             idle_window,
-            pels: self.pels,
+            pels: self.pels(),
             trace: soc.trace().clone(),
             sched_stats,
             decode_cache_hits,
@@ -1065,7 +1021,7 @@ mod tests {
         let base = Scenario::iso_latency(Mediator::PelsInstant);
         let variant = base.to_builder().events(7).build().unwrap();
         assert_eq!(variant.mediator, Mediator::PelsInstant);
-        assert_eq!(variant.freq, base.freq);
+        assert_eq!(variant.freq(), base.freq());
         assert_eq!(variant.events, 7);
     }
 

@@ -3,12 +3,12 @@
 use crate::event_map::*;
 use crate::mem_map::*;
 use pels_core::pels::PelsBus;
-use pels_core::{Pels, PelsBuilder, PelsConfig};
+use pels_core::{Pels, PelsBuilder};
 use pels_cpu::{Cpu, CpuBus, CpuState, DataReq, DataResult};
+use pels_desc::{DescError, PeriphKind, SystemDesc};
 use pels_interconnect::{
     AddrRange, ApbFabric, ApbRequest, ApbSlave, ArbiterKind, MasterId, SlaveId, Topology,
 };
-use pels_periph::sensor::{Composite, Constant, GaussianNoise, Quantizer, Ramp, Sine};
 use pels_periph::{
     Adc, Gpio, I2c, IdleHint, L2Memory, PeriphCtx, Peripheral, SensorDevice, Spi, Timer, Uart,
     Watchdog,
@@ -19,93 +19,16 @@ use pels_sim::{
 };
 use std::fmt;
 
-/// The synthetic analog source behind the SPI/ADC front-ends.
-///
-/// Substitutes the paper's thermistor/varistor (see `DESIGN.md`): each
-/// variant exercises the same digital code path with controllable
-/// threshold-crossing behaviour.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum SensorKind {
-    /// A fixed level (always above/below threshold — used for the
-    /// repeatable latency/power measurements).
-    Constant(f64),
-    /// A linear ramp crossing the threshold at a known time.
-    Ramp {
-        /// Level at time zero.
-        start: f64,
-        /// Volts per simulated microsecond.
-        slope_per_us: f64,
-    },
-    /// A ramp with Gaussian measurement noise (seeded, reproducible).
-    NoisyRamp {
-        /// Level at time zero.
-        start: f64,
-        /// Volts per simulated microsecond.
-        slope_per_us: f64,
-        /// Noise standard deviation.
-        sigma: f64,
-        /// RNG seed.
-        seed: u64,
-    },
-    /// A sine wave (periodic threshold crossings).
-    Sine {
-        /// Mid level.
-        offset: f64,
-        /// Peak deviation.
-        amplitude: f64,
-        /// Frequency in Hz.
-        freq_hz: f64,
-    },
-}
-
-impl SensorKind {
-    /// Builds the 12-bit, 0–3.3 V quantized front-end.
-    pub fn quantizer(&self) -> Quantizer {
-        let source: Box<dyn pels_periph::AnalogSource> = match *self {
-            SensorKind::Constant(v) => Box::new(Constant(v)),
-            SensorKind::Ramp { start, slope_per_us } => Box::new(Ramp {
-                start,
-                slope_per_us,
-            }),
-            SensorKind::NoisyRamp {
-                start,
-                slope_per_us,
-                sigma,
-                seed,
-            } => Box::new(Composite::new(vec![
-                Box::new(Ramp {
-                    start,
-                    slope_per_us,
-                }),
-                Box::new(GaussianNoise::new(sigma, seed)),
-            ])),
-            SensorKind::Sine {
-                offset,
-                amplitude,
-                freq_hz,
-            } => Box::new(Sine {
-                offset,
-                amplitude,
-                freq_hz,
-            }),
-        };
-        Quantizer::new(source, 12, 0.0, 3.3)
-    }
-
-    /// The 12-bit code a given analog level quantizes to (for choosing
-    /// thresholds).
-    pub fn code_for_level(level: f64) -> u32 {
-        let mut q = Quantizer::new(Box::new(Constant(level)), 12, 0.0, 3.3);
-        q.convert(SimTime::ZERO)
-    }
-}
+/// The synthetic analog source (now owned by `pels-desc`, re-exported
+/// for compatibility).
+pub use pels_desc::SensorKind;
 
 /// A structurally invalid SoC configuration, caught by
 /// [`SocBuilder::try_build`] before any hardware is assembled.
 ///
 /// Distinct from `pels_core::ConfigError` (a runtime register-access
 /// fault): this is a *construction-time* validation error.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ConfigError {
     /// `PelsConfig::links` was zero — a PELS with no links can never
@@ -117,6 +40,9 @@ pub enum ConfigError {
     /// The SPI clock divider was zero — the serial clock would be
     /// division-by-zero fast.
     ZeroClkdiv,
+    /// Any other [`SystemDesc::validate`] failure, with the JSON path of
+    /// the offending value.
+    Desc(DescError),
 }
 
 impl fmt::Display for ConfigError {
@@ -127,17 +53,27 @@ impl fmt::Display for ConfigError {
                 f.write_str("each PELS link needs at least 1 SCM line")
             }
             ConfigError::ZeroClkdiv => f.write_str("SPI clkdiv must be at least 1"),
+            ConfigError::Desc(e) => write!(f, "invalid system description: {e}"),
         }
     }
 }
 
-impl std::error::Error for ConfigError {}
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Desc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-/// Builder for [`Soc`].
+/// Builder for [`Soc`], backed by a [`SystemDesc`].
 ///
-/// [`SocBuilder::try_build`] validates the configuration and is the
-/// canonical assembly path; [`SocBuilder::build`] is a panicking
-/// convenience wrapper over it.
+/// [`SocBuilder::from_desc`] is the canonical entry point: every setter
+/// below is a thin wrapper mutating the underlying description, so the
+/// two construction styles cannot drift apart.
+/// [`SocBuilder::try_build`] validates the description and assembles it;
+/// [`SocBuilder::build`] is a panicking convenience wrapper over it.
 ///
 /// ```
 /// use pels_soc::{SocBuilder, SensorKind};
@@ -151,112 +87,103 @@ impl std::error::Error for ConfigError {}
 ///     .expect("valid configuration");
 /// assert_eq!(soc.pels().link_count(), 4);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SocBuilder {
-    freq: Frequency,
-    pels: PelsConfig,
-    sensor: SensorKind,
-    spi_clkdiv: u32,
-    adc_conversion_cycles: u32,
-    topology: Topology,
-    arbiter: ArbiterKind,
-    timer_starts_spi: bool,
-}
-
-impl Default for SocBuilder {
-    fn default() -> Self {
-        SocBuilder {
-            freq: Frequency::from_mhz(55.0),
-            pels: PelsConfig::default(),
-            sensor: SensorKind::Constant(2.0),
-            spi_clkdiv: 8,
-            adc_conversion_cycles: 16,
-            topology: Topology::Shared,
-            arbiter: ArbiterKind::RoundRobin,
-            timer_starts_spi: true,
-        }
-    }
+    desc: SystemDesc,
 }
 
 impl SocBuilder {
-    /// Starts from the default configuration (55 MHz, minimal PELS,
-    /// constant sensor).
+    /// Starts from [`SystemDesc::default`] (55 MHz, minimal PELS,
+    /// constant 2.5 V sensor, canonical peripherals).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// The canonical entry point: a builder assembling exactly `desc`.
+    pub fn from_desc(desc: SystemDesc) -> Self {
+        SocBuilder { desc }
+    }
+
+    /// The description this builder assembles.
+    pub fn desc(&self) -> &SystemDesc {
+        &self.desc
+    }
+
     /// Sets the system clock frequency.
     pub fn frequency(mut self, freq: Frequency) -> Self {
-        self.freq = freq;
+        self.desc.freq = freq;
         self
     }
 
     /// Sets the number of PELS links.
     pub fn pels_links(mut self, links: usize) -> Self {
-        self.pels.links = links;
+        self.desc.pels.links = links;
         self
     }
 
     /// Sets the SCM lines per link.
     pub fn scm_lines(mut self, lines: usize) -> Self {
-        self.pels.scm_lines = lines;
+        self.desc.pels.scm_lines = lines;
         self
     }
 
     /// Sets the per-link trigger-FIFO depth (0 = unbuffered ablation).
     pub fn fifo_depth(mut self, depth: usize) -> Self {
-        self.pels.fifo_depth = depth;
+        self.desc.pels.fifo_depth = depth;
         self
     }
 
     /// Selects the analog source.
     pub fn sensor(mut self, sensor: SensorKind) -> Self {
-        self.sensor = sensor;
+        self.desc.sensor = sensor;
         self
     }
 
     /// Sets the SPI cycles-per-word divider.
     pub fn spi_clkdiv(mut self, clkdiv: u32) -> Self {
-        self.spi_clkdiv = clkdiv;
+        self.desc.set_spi_clkdiv(clkdiv);
         self
     }
 
     /// Selects the fabric topology (shared APB vs per-slave crossbar).
     pub fn topology(mut self, topology: Topology) -> Self {
-        self.topology = topology;
+        self.desc.topology = topology;
         self
     }
 
     /// Selects the arbitration policy (round-robin vs fixed-priority).
     pub fn arbiter(mut self, arbiter: ArbiterKind) -> Self {
-        self.arbiter = arbiter;
+        self.desc.arbiter = arbiter;
         self
     }
 
     /// Whether the timer compare event starts an SPI transfer (the
     /// autonomous-readout wiring of the paper's workload). Default true.
     pub fn timer_starts_spi(mut self, wired: bool) -> Self {
-        self.timer_starts_spi = wired;
+        self.desc.timer_starts_spi = wired;
         self
     }
 
-    /// Assembles the SoC, validating the configuration first.
+    /// Assembles the SoC, validating the description first.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] when the PELS geometry or the SPI divider
-    /// is structurally impossible (zero links, zero SCM lines, zero
-    /// clkdiv).
+    /// The legacy impossibilities keep their legacy variants (zero links,
+    /// zero SCM lines, zero clkdiv); everything else
+    /// [`SystemDesc::validate`] catches — bad slots, missing or
+    /// duplicated peripherals, out-of-range geometry — is reported as
+    /// [`ConfigError::Desc`] with the JSON path of the offending value.
     pub fn try_build(self) -> Result<Soc, ConfigError> {
-        if self.pels.links == 0 {
+        if self.desc.pels.links == 0 {
             return Err(ConfigError::ZeroLinks);
         }
-        if self.pels.scm_lines == 0 {
+        if self.desc.pels.scm_lines == 0 {
             return Err(ConfigError::ZeroScmLines);
         }
-        if self.spi_clkdiv == 0 {
+        if self.desc.spi_clkdiv() == 0 {
             return Err(ConfigError::ZeroClkdiv);
         }
+        self.desc.validate().map_err(ConfigError::Desc)?;
         Ok(self.assemble())
     }
 
@@ -276,7 +203,7 @@ impl SocBuilder {
         // triggering.
         let loopback: EventVector =
             (AL_LOOPBACK_FIRST..=AL_LOOPBACK_LAST).collect();
-        let mut pels_cfg = self.pels;
+        let mut pels_cfg = self.desc.pels.to_config();
         pels_cfg.loopback = loopback;
         let pels = PelsBuilder::new()
             .links(pels_cfg.links)
@@ -286,58 +213,99 @@ impl SocBuilder {
             .build();
 
         let mut fabric: ApbFabric<Box<dyn Peripheral>> =
-            ApbFabric::with_config(self.topology, self.arbiter);
+            ApbFabric::with_config(self.desc.topology, self.desc.arbiter);
         let cpu_master = fabric.add_master("ibex");
         let pels_masters: Vec<MasterId> = (0..pels_cfg.links)
             .map(|i| fabric.add_master(format!("pels.link{i}")))
             .collect();
 
-        let mut gpio = Gpio::new("gpio");
-        gpio.wire_set_action(AL_GPIO_SET, 1)
-            .wire_clear_action(AL_GPIO_CLEAR, 1)
-            .wire_toggle_action(AL_GPIO_TOGGLE, 1)
-            .watch_pin(0, EV_GPIO_RISE);
-
-        let mut timer = Timer::new("timer");
-        timer
-            .wire_compare_event(EV_TIMER_CMP)
-            .wire_start_action(AL_TIMER_START)
-            .wire_stop_action(AL_TIMER_STOP);
-
-        let mut spi = Spi::new("spi", Box::new(self.sensor.quantizer()));
-        spi.wire_eot_event(EV_SPI_EOT)
-            .wire_udma_done_event(EV_SPI_UDMA_DONE);
-        if self.timer_starts_spi {
-            spi.wire_start_action(EV_TIMER_CMP);
-        }
-        spi.write(Spi::CLKDIV, self.spi_clkdiv)
-            .expect("clkdiv is validated by the builder");
-
-        let mut adc = Adc::new("adc", self.sensor.quantizer(), self.adc_conversion_cycles);
-        adc.wire_done_event(EV_ADC_DONE)
-            .wire_start_action(AL_ADC_START);
-
-        let mut uart = Uart::new("uart");
-        uart.wire_tx_done_event(EV_UART_TX_DONE);
-
-        let mut wdt = Watchdog::new("wdt");
-        wdt.wire_bite_event(EV_WDT_BITE)
-            .wire_kick_action(AL_WDT_KICK);
-
-        let mut i2c = I2c::new("i2c");
-        i2c.attach(Box::new(SensorDevice::new(0x48, self.sensor.quantizer())))
-            .wire_done_event(EV_I2C_DONE)
-            .wire_nack_event(EV_I2C_NACK)
-            .wire_start_action(AL_I2C_START);
-
+        // Instantiate and wire each described peripheral, placing it on
+        // its described APB slot in description order.
         let slot = |off: u32| AddrRange::new(APB_BASE + off, APB_STRIDE);
-        let gpio_id = fabric.add_slave(slot(GPIO_OFFSET), Box::new(gpio) as Box<dyn Peripheral>);
-        let timer_id = fabric.add_slave(slot(TIMER_OFFSET), Box::new(timer));
-        let spi_id = fabric.add_slave(slot(SPI_OFFSET), Box::new(spi));
-        let adc_id = fabric.add_slave(slot(ADC_OFFSET), Box::new(adc));
-        let uart_id = fabric.add_slave(slot(UART_OFFSET), Box::new(uart));
-        let wdt_id = fabric.add_slave(slot(WDT_OFFSET), Box::new(wdt));
-        let i2c_id = fabric.add_slave(slot(I2C_OFFSET), Box::new(i2c));
+        let (mut gpio_id, mut timer_id, mut spi_id, mut adc_id) = (None, None, None, None);
+        let (mut uart_id, mut wdt_id, mut i2c_id) = (None, None, None);
+        let mut periph_names = Vec::with_capacity(self.desc.peripherals.len());
+        for inst in &self.desc.peripherals {
+            periph_names.push(inst.kind.name());
+            let boxed: Box<dyn Peripheral> = match inst.kind {
+                PeriphKind::Gpio => {
+                    let mut gpio = Gpio::new("gpio");
+                    gpio.wire_set_action(AL_GPIO_SET, 1)
+                        .wire_clear_action(AL_GPIO_CLEAR, 1)
+                        .wire_toggle_action(AL_GPIO_TOGGLE, 1)
+                        .watch_pin(0, EV_GPIO_RISE);
+                    Box::new(gpio)
+                }
+                PeriphKind::Timer => {
+                    let mut timer = Timer::new("timer");
+                    timer
+                        .wire_compare_event(EV_TIMER_CMP)
+                        .wire_start_action(AL_TIMER_START)
+                        .wire_stop_action(AL_TIMER_STOP);
+                    Box::new(timer)
+                }
+                PeriphKind::Spi { clkdiv } => {
+                    let mut spi = Spi::new("spi", Box::new(self.desc.sensor.quantizer()));
+                    spi.wire_eot_event(EV_SPI_EOT)
+                        .wire_udma_done_event(EV_SPI_UDMA_DONE);
+                    if self.desc.timer_starts_spi {
+                        spi.wire_start_action(EV_TIMER_CMP);
+                    }
+                    spi.write(Spi::CLKDIV, clkdiv)
+                        .expect("clkdiv is validated by the builder");
+                    Box::new(spi)
+                }
+                PeriphKind::Adc { conversion_cycles } => {
+                    let mut adc =
+                        Adc::new("adc", self.desc.sensor.quantizer(), conversion_cycles);
+                    adc.wire_done_event(EV_ADC_DONE)
+                        .wire_start_action(AL_ADC_START);
+                    Box::new(adc)
+                }
+                PeriphKind::Uart => {
+                    let mut uart = Uart::new("uart");
+                    uart.wire_tx_done_event(EV_UART_TX_DONE);
+                    Box::new(uart)
+                }
+                PeriphKind::Wdt => {
+                    let mut wdt = Watchdog::new("wdt");
+                    wdt.wire_bite_event(EV_WDT_BITE)
+                        .wire_kick_action(AL_WDT_KICK);
+                    Box::new(wdt)
+                }
+                PeriphKind::I2c => {
+                    let mut i2c = I2c::new("i2c");
+                    i2c.attach(Box::new(SensorDevice::new(
+                        0x48,
+                        self.desc.sensor.quantizer(),
+                    )))
+                    .wire_done_event(EV_I2C_DONE)
+                    .wire_nack_event(EV_I2C_NACK)
+                    .wire_start_action(AL_I2C_START);
+                    Box::new(i2c)
+                }
+            };
+            let id = fabric.add_slave(slot(inst.offset), boxed);
+            match inst.kind {
+                PeriphKind::Gpio => gpio_id = Some(id),
+                PeriphKind::Timer => timer_id = Some(id),
+                PeriphKind::Spi { .. } => spi_id = Some(id),
+                PeriphKind::Adc { .. } => adc_id = Some(id),
+                PeriphKind::Uart => uart_id = Some(id),
+                PeriphKind::Wdt => wdt_id = Some(id),
+                PeriphKind::I2c => i2c_id = Some(id),
+            }
+        }
+        let expect = |id: Option<SlaveId>, name: &str| {
+            id.unwrap_or_else(|| panic!("description must instantiate one `{name}`"))
+        };
+        let gpio_id = expect(gpio_id, "gpio");
+        let timer_id = expect(timer_id, "timer");
+        let spi_id = expect(spi_id, "spi");
+        let adc_id = expect(adc_id, "adc");
+        let uart_id = expect(uart_id, "uart");
+        let wdt_id = expect(wdt_id, "wdt");
+        let i2c_id = expect(i2c_id, "i2c");
         let slave_count = fabric.slave_count();
 
         let clock_ids = ClockIds {
@@ -345,7 +313,7 @@ impl SocBuilder {
             fabric: ComponentId::intern("fabric"),
             soc_ctrl: ComponentId::intern("soc_ctrl"),
             periph_misc: ComponentId::intern("periph_misc"),
-            periphs: ["gpio", "timer", "spi", "adc", "uart", "wdt", "i2c"]
+            periphs: periph_names
                 .iter()
                 .map(|n| ComponentId::intern(n))
                 .collect(),
@@ -356,7 +324,7 @@ impl SocBuilder {
         };
 
         Soc {
-            freq: self.freq,
+            freq: self.desc.freq,
             cycle: 0,
             l2: L2Memory::new(L2_SIZE),
             fabric,
@@ -1379,8 +1347,8 @@ impl Soc {
     /// state remain cycle-exact; a predicate that watches CPU
     /// architectural state (registers, pc) at sub-block granularity
     /// should disable superblocks first
-    /// ([`pels_cpu::Cpu::set_superblocks_enabled`], or
-    /// `Scenario::force_single_step`). Use [`Soc::run_for_trace_count`]
+    /// ([`pels_cpu::Cpu::set_superblocks_enabled`], or running the
+    /// scenario with `ExecMode::SingleStep`). Use [`Soc::run_for_trace_count`]
     /// when the condition is a trace-entry count — that one can also
     /// skip idle spans.
     pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Soc) -> bool) -> bool {
@@ -1768,29 +1736,35 @@ mod tests {
     }
 
     #[test]
-    fn sensor_kinds_build_quantizers() {
-        for kind in [
-            SensorKind::Constant(1.0),
-            SensorKind::Ramp {
-                start: 0.0,
-                slope_per_us: 0.1,
-            },
-            SensorKind::NoisyRamp {
-                start: 0.0,
-                slope_per_us: 0.1,
-                sigma: 0.05,
-                seed: 7,
-            },
-            SensorKind::Sine {
-                offset: 1.6,
-                amplitude: 1.0,
-                freq_hz: 1e4,
-            },
-        ] {
-            let mut q = kind.quantizer();
-            let _ = q.convert(SimTime::ZERO);
+    fn builder_is_a_thin_wrapper_over_the_desc() {
+        // The setter API and from_desc must describe the same machine.
+        let via_setters = SocBuilder::new()
+            .pels_links(3)
+            .scm_lines(8)
+            .spi_clkdiv(2)
+            .sensor(SensorKind::Constant(1.0))
+            .topology(Topology::PerSlaveCrossbar)
+            .arbiter(ArbiterKind::FixedPriority);
+        let mut desc = SystemDesc::default();
+        desc.pels.links = 3;
+        desc.pels.scm_lines = 8;
+        desc.set_spi_clkdiv(2);
+        desc.sensor = SensorKind::Constant(1.0);
+        desc.topology = Topology::PerSlaveCrossbar;
+        desc.arbiter = ArbiterKind::FixedPriority;
+        assert_eq!(via_setters.desc(), &desc);
+        let soc = SocBuilder::from_desc(desc).try_build().expect("valid desc");
+        assert_eq!(soc.pels().link_count(), 3);
+    }
+
+    #[test]
+    fn builder_reports_desc_errors_with_paths() {
+        let mut desc = SystemDesc::default();
+        desc.peripherals[1].offset = 12;
+        let err = SocBuilder::from_desc(desc).try_build().unwrap_err();
+        match err {
+            ConfigError::Desc(e) => assert_eq!(e.path, "/peripherals/1/offset"),
+            other => panic!("expected a Desc error, got {other:?}"),
         }
-        assert_eq!(SensorKind::code_for_level(3.3), 4095);
-        assert_eq!(SensorKind::code_for_level(0.0), 0);
     }
 }

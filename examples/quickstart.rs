@@ -8,6 +8,12 @@
 use pels_repro::core::pels::NoBus;
 use pels_repro::core::{assemble, PelsBuilder, TriggerCond};
 use pels_repro::sim::{EventVector, SimTime, Trace};
+use pels_repro::soc::SystemDesc;
+
+/// The committed description of the minimal quickstart system
+/// (regenerate with `reproduce -- desc`).
+const SYSTEM_JSON: &str =
+    include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/descs/quickstart_system.json"));
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Write the linking program in the paper's pseudocode style.
@@ -21,9 +27,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("assembled program:\n{program}");
 
-    // 2. Build a minimal PELS (the paper's 1-link, 4-command, ~7 kGE
-    //    configuration) and configure link 0 to trigger on event line 3.
-    let mut pels = PelsBuilder::new().links(1).scm_lines(4).build();
+    // 2. Describe the system in JSON and build from the description —
+    //    here the paper's minimal 1-link, 4-command, ~7 kGE PELS
+    //    configuration, loaded from `examples/descs/` — and configure
+    //    link 0 to trigger on event line 3.
+    let desc = SystemDesc::from_json(SYSTEM_JSON)?;
+    let mut pels = PelsBuilder::new()
+        .links(desc.pels.links)
+        .scm_lines(desc.pels.scm_lines)
+        .build();
     pels.link_mut(0)
         .set_mask(EventVector::mask_of(&[3]))
         .set_condition(TriggerCond::Any);

@@ -19,13 +19,18 @@ use pels_repro::periph::Timer;
 use pels_repro::sim::EventVector;
 use pels_repro::soc::event_map::{EV_ADC_DONE, EV_SPI_EOT};
 use pels_repro::soc::mem_map::RESET_PC;
-use pels_repro::soc::{SensorKind, SocBuilder};
+use pels_repro::soc::{SocBuilder, SystemDesc};
+
+/// The committed description of the fusion system: the default SoC with
+/// a 2.0 V constant sensor (regenerate with `reproduce -- desc`).
+const SYSTEM_JSON: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/examples/descs/sensor_fusion_system.json"
+));
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut soc = SocBuilder::new()
-        .sensor(SensorKind::Constant(2.0))
-        .spi_clkdiv(4)
-        .build();
+    let desc = SystemDesc::from_json(SYSTEM_JSON)?;
+    let mut soc = SocBuilder::from_desc(desc.clone()).build();
 
     // Both front-ends are kicked by the same timer event; their
     // completion latencies differ (SPI: 8 cycles for 2 words at clkdiv 4;
@@ -62,11 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(fused, spi_events, "16-cycle SPI aligns with the 16-cycle ADC");
 
     // Now skew the ADC by one cycle (17-cycle conversions): the pulses
-    // never coincide and the AND condition goes quiet.
-    let mut soc = SocBuilder::new()
-        .sensor(SensorKind::Constant(2.0))
-        .spi_clkdiv(4)
-        .build();
+    // never coincide and the AND condition goes quiet. Same described
+    // system, second instance.
+    let mut soc = SocBuilder::from_desc(desc).build();
     soc.spi_mut().set_default_len(4);
     // Rebuild the ADC with a 17-cycle conversion by re-wiring through the
     // public API: the builder fixes conversion cycles, so emulate the

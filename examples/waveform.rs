@@ -14,25 +14,9 @@ use pels_repro::soc::{Mediator, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::latency_probe(Mediator::PelsSequenced);
-    let mut soc = {
-        // Rebuild the scenario's SoC by hand so we can step it ourselves.
-        let s = Scenario::latency_probe(Mediator::PelsSequenced);
-        let mut soc = pels_repro::soc::SocBuilder::new()
-            .frequency(s.freq)
-            .sensor(s.sensor)
-            .spi_clkdiv(s.spi_clkdiv)
-            .build();
-        let link = soc.pels_mut().link_mut(0);
-        link.set_mask(pels_repro::sim::EventVector::mask_of(&[0]))
-            .set_base(pels_repro::soc::mem_map::APB_BASE);
-        link.load_program(&s.link_program())?;
-        soc.spi_mut().set_default_len(s.spi_words);
-        soc.load_program(
-            pels_repro::soc::mem_map::RESET_PC,
-            &[pels_repro::cpu::asm::wfi(), pels_repro::cpu::asm::jal(0, -4)],
-        );
-        soc
-    };
+    // The scenario builds its own SoC; we step it ourselves with a short
+    // timer period so the linking event lands inside the capture window.
+    let mut soc = scenario.build_soc();
     soc.timer_mut().write(Timer::CMP, 20)?;
     soc.timer_mut().write(Timer::CTRL, Timer::CTRL_ENABLE)?;
 

@@ -12,10 +12,10 @@ cd "$(dirname "$0")/.."
 cargo bench -q -p pels-bench --bench sim_throughput -- --sample-size 10
 echo "bench_smoke: sim_throughput OK"
 
-# Compile guard: the force_naive differential switch (Scenario::force_naive
-# + Soc::set_naive_scheduling + Cpu::set_decode_cache_enabled) must keep
-# compiling — the differential tests and the *_naive bench groups are the
-# only proof the fast path is observationally invisible.
+# Compile guard: the ExecMode differential switch (ScenarioBuilder::
+# exec_mode + Soc::set_naive_scheduling + Cpu::set_decode_cache_enabled)
+# must keep compiling — the differential tests and the *_naive bench
+# groups are the only proof the fast path is observationally invisible.
 cargo test -q --test active_path --no-run
 echo "bench_smoke: active_path differential suite compiles OK"
 
@@ -50,6 +50,16 @@ echo "bench_smoke: obs artifacts OK"
 grep -q '"linking_superblock_speedup"' BENCH_sim_throughput.json
 grep -q '"linking_superblock_single_step_cycles_per_sec"' BENCH_sim_throughput.json
 echo "bench_smoke: superblock speedup keys OK"
+
+# Description gate: regenerate the canonical corpus under
+# examples/descs/ (round-trip checked on emit), then validate every
+# committed file — parse, validate, round-trip identity and a one-cycle
+# smoke build — and run the seeded desc fuzzer (fixed seed, 200+
+# generate -> validate -> fast-vs-naive differential iterations).
+cargo run -q --release -p pels-bench --bin reproduce -- desc > /dev/null
+cargo run -q --release -p pels-bench --bin desc_check
+cargo test -q --test desc_fuzz
+echo "bench_smoke: description corpus + fuzzer OK"
 
 cargo clippy --workspace --all-targets -q -- -D warnings
 echo "bench_smoke: clippy OK"

@@ -6,6 +6,8 @@
 //!
 //! * [`pels_core`] — the paper's contribution (the event-linking system);
 //! * [`pels_soc`] — the PULPissimo-like SoC it is evaluated in;
+//! * [`pels_desc`] — validated, JSON-serializable system/scenario
+//!   descriptions (the canonical construction API);
 //! * [`pels_cpu`] — the Ibex-class RV32IMC baseline;
 //! * [`pels_periph`], [`pels_interconnect`], [`pels_sim`], [`pels_power`] —
 //!   substrates.
@@ -14,6 +16,7 @@
 
 pub use pels_core as core;
 pub use pels_cpu as cpu;
+pub use pels_desc as desc;
 pub use pels_interconnect as interconnect;
 pub use pels_periph as periph;
 pub use pels_power as power;

@@ -6,7 +6,7 @@
 //! prove both are invisible: with the CPU *busy* (not parked in `wfi`,
 //! so whole-SoC skips never apply) the fast configuration and the forced
 //! naive one (`set_naive_scheduling(true)` + decode cache off — the same
-//! switch `Scenario::force_naive` throws) produce bit-identical traces,
+//! switch `ExecMode::Naive` throws) produce bit-identical traces,
 //! activity images, latency statistics and architectural state.
 
 use std::collections::BTreeMap;
@@ -16,7 +16,7 @@ use pels_repro::periph::{Spi, Timer};
 use pels_repro::sim::{ActivityKind, ActivitySet, Rng};
 use pels_repro::soc::event_map::{EV_GPIO_RISE, EV_TIMER_CMP};
 use pels_repro::soc::mem_map::RESET_PC;
-use pels_repro::soc::{Mediator, Scenario, Soc, SocBuilder};
+use pels_repro::soc::{ExecMode, Mediator, Scenario, Soc, SocBuilder};
 use pels_repro::{core as pels_core, cpu::asm};
 
 /// One externally applied stimulus step, generated once and replayed
@@ -164,10 +164,10 @@ fn fast_active_path_is_observationally_identical_to_naive() {
 
 /// Scenario-level identity: every mediator's full measured report —
 /// latencies, [`LinkingStats`], completed events, activity images and
-/// trace — is bit-identical between `force_naive(false)` and
-/// `force_naive(true)` builds.
+/// trace — is bit-identical between [`ExecMode::Fast`] and
+/// [`ExecMode::Naive`] builds.
 #[test]
-fn scenario_reports_identical_fast_vs_force_naive() {
+fn scenario_reports_identical_fast_vs_naive() {
     for mediator in [
         Mediator::PelsSequenced,
         Mediator::PelsInstant,
@@ -176,7 +176,7 @@ fn scenario_reports_identical_fast_vs_force_naive() {
         let fast = Scenario::iso_frequency(mediator).run();
         let naive = Scenario::iso_frequency(mediator)
             .to_builder()
-            .force_naive(true)
+            .exec_mode(ExecMode::Naive)
             .build()
             .expect("preset variant stays valid")
             .run();
@@ -260,10 +260,10 @@ fn superblock_execution_is_observationally_identical_to_single_step() {
 /// Scenario-level superblock identity across all three mediators: the
 /// full measured report — per-event latencies (hence every percentile),
 /// [`SchedStats`] (bit-for-bit), completed events, activity images,
-/// window durations and trace — matches `force_single_step`, and the
+/// window durations and trace — matches [`ExecMode::SingleStep`], and the
 /// paper's headline latencies are unchanged cycle-for-cycle.
 #[test]
-fn scenario_reports_identical_superblocks_vs_force_single_step() {
+fn scenario_reports_identical_superblocks_vs_single_step() {
     for (mediator, paper_latency) in [
         (Mediator::PelsSequenced, 7),
         (Mediator::PelsInstant, 2),
@@ -272,7 +272,7 @@ fn scenario_reports_identical_superblocks_vs_force_single_step() {
         let fast = Scenario::iso_frequency(mediator).run();
         let single = Scenario::iso_frequency(mediator)
             .to_builder()
-            .force_single_step(true)
+            .exec_mode(ExecMode::SingleStep)
             .build()
             .expect("preset variant stays valid")
             .run();
@@ -280,7 +280,7 @@ fn scenario_reports_identical_superblocks_vs_force_single_step() {
         // latency probe — re-check them under superblock execution.
         let probe = Scenario::latency_probe(mediator)
             .to_builder()
-            .force_single_step(false)
+            .exec_mode(ExecMode::Fast)
             .build()
             .expect("probe variant stays valid")
             .run();
@@ -398,4 +398,28 @@ fn run_for_trace_count_matches_stepped_predicate_wait() {
     });
     assert!(done && stepped, "both sides saw 6 link actions");
     assert_identical(&fast, &naive, "after trace-count wait");
+}
+
+/// The deprecated boolean switches still map onto [`ExecMode`], so
+/// pre-redesign callers keep their semantics.
+#[test]
+#[allow(deprecated)]
+fn deprecated_force_switches_map_to_exec_modes() {
+    let naive = Scenario::builder().force_naive(true).build().unwrap();
+    assert_eq!(naive.exec, ExecMode::Naive);
+    let single = Scenario::builder().force_single_step(true).build().unwrap();
+    assert_eq!(single.exec, ExecMode::SingleStep);
+    let toggled_back = Scenario::builder()
+        .force_single_step(true)
+        .force_single_step(false)
+        .build()
+        .unwrap();
+    assert_eq!(toggled_back.exec, ExecMode::Fast);
+    // Naive wins over single-step: clearing single-step must not undo it.
+    let naive_sticky = Scenario::builder()
+        .force_naive(true)
+        .force_single_step(false)
+        .build()
+        .unwrap();
+    assert_eq!(naive_sticky.exec, ExecMode::Naive);
 }

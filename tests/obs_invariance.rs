@@ -9,7 +9,7 @@
 //! both ways and compare everything the simulation derives.
 
 use pels_fleet::{FleetEngine, SweepSpec};
-use pels_repro::soc::{Mediator, Scenario, ScenarioReport, SocBuilder};
+use pels_repro::soc::{ExecMode, Mediator, Scenario, ScenarioReport, SocBuilder};
 
 /// Every simulation-derived field of two reports must match exactly.
 /// Host-time fields (there are none in `ScenarioReport`) and the metrics
@@ -126,7 +126,7 @@ fn superblock_execution_never_perturbs_any_mediator() {
         let fast = base.run();
         let single = base
             .to_builder()
-            .force_single_step(true)
+            .exec_mode(ExecMode::SingleStep)
             .build()
             .unwrap()
             .run();
@@ -156,7 +156,7 @@ fn fleet_digest_is_invariant_under_superblock_execution() {
         .run_sweep(
             &SweepSpec::new()
                 .mediators(&mediators)
-                .force_single_step(true),
+                .exec_mode(ExecMode::SingleStep),
         )
         .unwrap();
     // Superblock execution is a host-speed technique: the digest hashes
