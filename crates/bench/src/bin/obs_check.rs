@@ -35,7 +35,8 @@ const NONZERO_KEYS: &[&str] = &[
 
 /// Every counter the CPU and scheduler publishers may emit, by exact
 /// name — the schema side of `Cpu::publish_metrics` and
-/// `Soc::publish_metrics`. A `cpu.`- or `soc.sched.`-prefixed key in the
+/// `Soc::publish_metrics`. A `cpu.`-, `soc.sched.`- or
+/// `soc.sprint.`-prefixed key in the
 /// snapshot that is not listed here fails the gate: that is how producer
 /// renames and silent additions get caught as drift instead of shipping
 /// two names for one counter. Extend this list in the same change that
@@ -55,6 +56,8 @@ const KNOWN_CPU_SCHED_KEYS: &[&str] = &[
     "cpu.superblock.instrs",
     "cpu.superblock.cycles",
     "cpu.superblock.verify_aborts",
+    "cpu.fused.ops",
+    "cpu.fused.pairs",
     "soc.sched.fast_cycles",
     "soc.sched.stirred_cycles",
     "soc.sched.naive_cycles",
@@ -63,6 +66,10 @@ const KNOWN_CPU_SCHED_KEYS: &[&str] = &[
     "soc.sched.rebuilds",
     "soc.sched.wakes",
     "soc.sched.sleeps",
+    "soc.sprint.spans",
+    "soc.sprint.proofs",
+    "soc.sprint.token_hits",
+    "soc.sprint.invalidations",
 ];
 
 fn check_metrics(path: &str) -> Result<(), String> {
@@ -78,13 +85,15 @@ fn check_metrics(path: &str) -> Result<(), String> {
         value
             .as_u64()
             .ok_or_else(|| format!("{path}: `{key}` is not a non-negative integer"))?;
-        if (key.starts_with("cpu.") || key.starts_with("soc.sched."))
+        if (key.starts_with("cpu.")
+            || key.starts_with("soc.sched.")
+            || key.starts_with("soc.sprint."))
             && !KNOWN_CPU_SCHED_KEYS.contains(&key.as_str())
         {
             return Err(format!(
                 "{path}: counter `{key}` is not in the published schema — \
-                 a producer renamed or added a `cpu.`/`soc.sched.` counter \
-                 without updating KNOWN_CPU_SCHED_KEYS"
+                 a producer renamed or added a `cpu.`/`soc.sched.`/`soc.sprint.` \
+                 counter without updating KNOWN_CPU_SCHED_KEYS"
             ));
         }
     }

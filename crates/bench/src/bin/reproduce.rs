@@ -318,11 +318,12 @@ fn run_one(artifact: &str) -> Result<(), String> {
         "ablations" => ablations::render_all(),
         "extensions" => experiments::render_extension_link_power(),
         "sim_throughput" => {
-            let rows = throughput::measure(10);
+            let samples = 10;
+            let rows = throughput::measure(samples);
             // Merge into the existing artifact so keys written by other
             // runs/tools survive a regeneration.
             let existing = std::fs::read_to_string("BENCH_sim_throughput.json").ok();
-            let json = throughput::merge_json(&rows, existing.as_deref());
+            let json = throughput::merge_json(&rows, samples, existing.as_deref());
             std::fs::write("BENCH_sim_throughput.json", &json)
                 .map_err(|e| format!("writing BENCH_sim_throughput.json: {e}"))?;
             format!("{}(wrote BENCH_sim_throughput.json)\n", throughput::render(&rows))

@@ -15,9 +15,11 @@
 //!   (CPU wake/sleep traffic every event).
 //! * **busy linking workload** — a PELS link fires while the CPU crunches
 //!   a straight-line kernel that never sleeps: the workload superblock
-//!   execution accelerates. Measured with superblocks on and with the
-//!   CPU forced to single-step, so the superblock speedup itself is a
-//!   tracked number (`linking_superblock_speedup`).
+//!   execution accelerates. Measured on three tiers — fused superblocks
+//!   (the default fast path), unfused superblocks (the pre-fusion
+//!   path), and the CPU forced to single-step — so both the superblock
+//!   speedup (`linking_superblock_speedup`) and the op-fusion speedup
+//!   on top of it (`linking_fused_speedup`) are tracked numbers.
 
 use crate::harness::{fmt_rate, Bench};
 use pels_sim::Frequency;
@@ -53,11 +55,24 @@ fn idle_soc(naive: bool) -> pels_soc::Soc {
     soc
 }
 
+/// Execution tier a busy-linking measurement runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyTier {
+    /// The default fast path: superblocks executed from the fused
+    /// op program.
+    Fused,
+    /// Superblocks with op fusion disabled — the generic per-step
+    /// block loop (the pre-fusion reference).
+    Superblock,
+    /// One instruction per scheduler visit.
+    SingleStep,
+}
+
 /// A PELS link toggles a GPIO on every timer compare while the CPU
 /// crunches a straight-line ALU kernel — peripheral events keep flowing,
 /// but the CPU never sleeps, so host throughput is bound by instruction
 /// execution rather than by whole-SoC skips.
-pub fn busy_linking_soc(single_step: bool) -> pels_soc::Soc {
+pub fn busy_linking_soc(tier: BusyTier) -> pels_soc::Soc {
     let mut soc = SocBuilder::new().build();
     soc.trace_mut().set_enabled(false);
     soc.pels_mut()
@@ -77,34 +92,38 @@ pub fn busy_linking_soc(single_step: bool) -> pels_soc::Soc {
             .expect("valid"),
         )
         .expect("fits");
-    // A 14-deep chain of register-only ALU ops closed by a jump: one
-    // sealed superblock covering the whole loop body.
+    // A 14-deep chain of register-only ALU ops closed by a compare-and-
+    // branch: one sealed superblock covering the whole loop body, with a
+    // pair-dense instruction mix (lui+addi, same-rd immediate chains and
+    // a compare feeding its branch) so the fused tier exercises every
+    // fusion class, plus register-register singles for the generic path.
     soc.load_program(
         RESET_PC,
         &[
+            asm::lui(5, 0x1000),
+            asm::addi(5, 5, 0x21),
             asm::addi(1, 1, 1),
-            asm::add(2, 2, 1),
-            asm::xor(3, 3, 1),
-            asm::addi(4, 4, 3),
-            asm::add(5, 5, 2),
-            asm::addi(6, 6, 1),
-            asm::add(7, 7, 6),
-            asm::xor(8, 8, 7),
-            asm::addi(9, 9, 2),
-            asm::add(10, 10, 9),
-            asm::addi(11, 11, 1),
-            asm::add(12, 12, 11),
-            asm::xor(13, 13, 12),
-            asm::add(14, 14, 13),
-            asm::jal(0, -56),
+            asm::addi(1, 1, 2),
+            asm::addi(2, 2, 3),
+            asm::addi(2, 2, 5),
+            asm::xori(3, 3, 0x11),
+            asm::addi(3, 3, 1),
+            asm::addi(4, 4, 1),
+            asm::addi(4, 4, 1),
+            asm::add(6, 6, 1),
+            asm::xor(7, 7, 2),
+            asm::slt(12, 0, 5),
+            asm::bne(12, 0, -52),
         ],
     );
-    soc.timer_mut().write(Timer::CMP, 64).unwrap();
+    soc.timer_mut().write(Timer::CMP, 512).unwrap();
     soc.timer_mut()
         .write(Timer::CTRL, Timer::CTRL_ENABLE)
         .unwrap();
-    if single_step {
-        soc.cpu_mut().set_superblocks_enabled(false);
+    match tier {
+        BusyTier::Fused => {}
+        BusyTier::Superblock => soc.cpu_mut().set_fusion_enabled(false),
+        BusyTier::SingleStep => soc.cpu_mut().set_superblocks_enabled(false),
     }
     soc
 }
@@ -158,14 +177,16 @@ pub fn measure(samples: usize) -> Vec<ThroughputRow> {
         });
     }
 
-    // The busy-CPU linking workload, with superblock execution on and
-    // with the CPU forced to single-step (everything else identical).
-    for (name, single_step) in [
-        ("linking_superblock", false),
-        ("linking_superblock_single_step", true),
+    // The busy-CPU linking workload across the three execution tiers
+    // (everything but the tier identical, and all three simulate
+    // bit-identical SoCs).
+    for (name, tier) in [
+        ("linking_fused", BusyTier::Fused),
+        ("linking_superblock", BusyTier::Superblock),
+        ("linking_superblock_single_step", BusyTier::SingleStep),
     ] {
         let rate = bench.run_throughput(name, SUPERBLOCK_CYCLES, || {
-            let mut soc = busy_linking_soc(single_step);
+            let mut soc = busy_linking_soc(tier);
             soc.run(SUPERBLOCK_CYCLES);
             soc.cycle()
         });
@@ -195,6 +216,12 @@ pub fn speedup_of(rows: &[ThroughputRow], name: &str) -> Option<f64> {
 /// reference row retires one instruction per scheduler visit).
 pub fn superblock_speedup(rows: &[ThroughputRow]) -> Option<f64> {
     speedup_vs(rows, "linking_superblock", "linking_superblock_single_step")
+}
+
+/// The op-fusion speedup on the busy linking workload: the fused tier
+/// over the unfused superblock tier (the pre-fusion fast path).
+pub fn fused_speedup(rows: &[ThroughputRow]) -> Option<f64> {
+    speedup_vs(rows, "linking_fused", "linking_superblock")
 }
 
 /// The idle-path speedup (fast over naive) from a measured row set.
@@ -227,6 +254,11 @@ pub fn render(rows: &[ThroughputRow]) -> String {
     if let Some(x) = superblock_speedup(rows) {
         s.push_str(&format!(
             "  superblock speedup (busy linking workload): {x:.1}x\n"
+        ));
+    }
+    if let Some(x) = fused_speedup(rows) {
+        s.push_str(&format!(
+            "  op-fusion speedup (fused over unfused superblocks): {x:.1}x\n"
         ));
     }
     s
@@ -274,13 +306,14 @@ fn parse_flat_object(text: &str) -> Option<Vec<(String, String)>> {
     Some(pairs)
 }
 
-/// Serializes the rows into the `BENCH_sim_throughput.json` artifact,
-/// merging into `existing` (the file's previous contents, if any): keys
-/// this run doesn't produce are kept verbatim in place, keys it does are
+/// Serializes the rows (plus host metadata for a `samples`-sample run)
+/// into the `BENCH_sim_throughput.json` artifact, merging into
+/// `existing` (the file's previous contents, if any): keys this run
+/// doesn't produce are kept verbatim in place, keys it does are
 /// updated, new keys append. A run of a subset of workloads therefore
 /// never drops another run's fields. Flat object, hand-rolled — no serde
 /// in the offline dependency graph.
-pub fn merge_json(rows: &[ThroughputRow], existing: Option<&str>) -> String {
+pub fn merge_json(rows: &[ThroughputRow], samples: usize, existing: Option<&str>) -> String {
     let mut updates: Vec<(String, String)> = rows
         .iter()
         .map(|r| {
@@ -302,7 +335,18 @@ pub fn merge_json(rows: &[ThroughputRow], existing: Option<&str>) -> String {
     if let Some(x) = superblock_speedup(rows) {
         updates.push(("linking_superblock_speedup".into(), format!("{x:.2}")));
     }
+    if let Some(x) = fused_speedup(rows) {
+        updates.push(("linking_fused_speedup".into(), format!("{x:.2}")));
+    }
     updates.push(("idle_cycles_per_iter".into(), IDLE_CYCLES.to_string()));
+    // Host metadata: numbers in this artifact are only comparable on a
+    // similar host, so record the parallelism the run had available and
+    // how many timing samples backed each median.
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    updates.push(("host_parallelism".into(), parallelism.to_string()));
+    updates.push(("bench_samples".into(), samples.to_string()));
     updates.push(("schema_version".into(), SCHEMA_VERSION.to_string()));
 
     let mut merged = existing.and_then(parse_flat_object).unwrap_or_default();
@@ -323,8 +367,8 @@ pub fn merge_json(rows: &[ThroughputRow], existing: Option<&str>) -> String {
 }
 
 /// [`merge_json`] with no prior contents — fresh serialization.
-pub fn to_json(rows: &[ThroughputRow]) -> String {
-    merge_json(rows, None)
+pub fn to_json(rows: &[ThroughputRow], samples: usize) -> String {
+    merge_json(rows, samples, None)
 }
 
 #[cfg(test)]
@@ -345,8 +389,10 @@ mod tests {
                 cycles_per_sec: 5e5,
             },
         ];
-        let j = to_json(&rows);
+        let j = to_json(&rows, 10);
         assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"bench_samples\": 10"));
+        assert!(j.contains("\"host_parallelism\": "));
         assert!(j.contains("\"idle_soc_cycles_per_sec\": 2000000.0"));
         assert!(j.contains("\"idle_speedup\": 4.00"));
         // No trailing comma before the closing brace.
@@ -367,7 +413,7 @@ mod tests {
             cycles: 10,
             cycles_per_sec: 2e6,
         }];
-        let j = merge_json(&rows, Some(existing));
+        let j = merge_json(&rows, 10, Some(existing));
         // Foreign keys survive verbatim, own keys are updated in place.
         assert!(j.contains("\"someone_elses_metric\": 123.4"));
         assert!(j.contains("\"a_string\": \"with, comma\""));
@@ -387,7 +433,7 @@ mod tests {
             cycles_per_sec: 2e6,
         }];
         for garbage in ["not json", "{ broken", "{\"k\": }"] {
-            let j = merge_json(&rows, Some(garbage));
+            let j = merge_json(&rows, 10, Some(garbage));
             assert!(j.contains("\"idle_soc_cycles_per_sec\": 2000000.0"));
             assert!(j.ends_with("}\n"));
         }
@@ -408,26 +454,53 @@ mod tests {
             },
         ];
         assert_eq!(superblock_speedup(&rows), Some(3.0));
-        let j = to_json(&rows);
+        let j = to_json(&rows, 10);
         assert!(j.contains("\"linking_superblock_speedup\": 3.00"));
         // The single-step row is a reference, never paired as `_naive`.
         assert!(speedup_of(&rows, "linking_superblock").is_none());
     }
 
     #[test]
+    fn fused_tier_serializes_its_speedup_over_superblocks() {
+        let rows = vec![
+            ThroughputRow {
+                name: "linking_fused",
+                cycles: 10,
+                cycles_per_sec: 1.8e8,
+            },
+            ThroughputRow {
+                name: "linking_superblock",
+                cycles: 10,
+                cycles_per_sec: 9e7,
+            },
+        ];
+        assert_eq!(fused_speedup(&rows), Some(2.0));
+        let j = to_json(&rows, 10);
+        assert!(j.contains("\"linking_fused_speedup\": 2.00"));
+    }
+
+    #[test]
     fn busy_linking_workloads_simulate_identically() {
         // The measurement must time identical simulations: same final
-        // cycle, retirement and GPIO traffic in both execution modes —
-        // and the fast side must actually run superblocks.
-        let mut fast = busy_linking_soc(false);
-        let mut single = busy_linking_soc(true);
-        fast.run(2_000);
+        // cycle, retirement and GPIO traffic on all three execution
+        // tiers — and each tier must actually run on its own path.
+        let mut fused = busy_linking_soc(BusyTier::Fused);
+        let mut unfused = busy_linking_soc(BusyTier::Superblock);
+        let mut single = busy_linking_soc(BusyTier::SingleStep);
+        fused.run(2_000);
+        unfused.run(2_000);
         single.run(2_000);
-        assert_eq!(fast.cycle(), single.cycle());
-        assert_eq!(fast.cpu().cycles(), single.cpu().cycles());
-        assert_eq!(fast.cpu().retired(), single.cpu().retired());
-        assert_eq!(fast.drain_activity(), single.drain_activity());
-        assert!(fast.superblock_stats().block_runs > 0);
+        for other in [&unfused, &single] {
+            assert_eq!(fused.cycle(), other.cycle());
+            assert_eq!(fused.cpu().cycles(), other.cpu().cycles());
+            assert_eq!(fused.cpu().retired(), other.cpu().retired());
+        }
+        let activity = fused.drain_activity();
+        assert_eq!(activity, unfused.drain_activity());
+        assert_eq!(activity, single.drain_activity());
+        assert!(fused.superblock_stats().fused_ops > 0);
+        assert!(unfused.superblock_stats().block_runs > 0);
+        assert_eq!(unfused.superblock_stats().fused_ops, 0);
         assert_eq!(single.superblock_stats().block_runs, 0);
     }
 

@@ -294,14 +294,15 @@ mod tests {
     }
 
     #[test]
-    fn exec_mode_is_uniform_and_shim_maps_to_it() {
+    fn exec_mode_is_uniform_across_jobs() {
         let jobs = SweepSpec::new()
             .exec_mode(ExecMode::SingleStep)
+            .links(&[1, 2])
             .jobs()
             .unwrap();
-        assert_eq!(jobs[0].1.exec, ExecMode::SingleStep);
-        #[allow(deprecated)]
-        let shimmed = SweepSpec::new().force_single_step(true).jobs().unwrap();
-        assert_eq!(shimmed[0].1.exec, ExecMode::SingleStep);
+        assert!(jobs.len() > 1);
+        for (label, desc) in &jobs {
+            assert_eq!(desc.exec, ExecMode::SingleStep, "{label}");
+        }
     }
 }

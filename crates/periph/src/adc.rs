@@ -161,11 +161,14 @@ impl Peripheral for Adc {
     }
 
     fn idle_hint(&self) -> IdleHint {
-        // Conversions are short and count ActiveCycle each cycle, so a
-        // busy ADC just stays awake; an idle one only reacts to its start
-        // line or a register access.
+        // A busy ADC publishes its exact completion deadline: the next
+        // `countdown - 1` ticks only decrement the counter (plus the
+        // ActiveCycle accounting, which `catch_up` reproduces in closed
+        // form), and the completing tick — data latch, ready flag, done
+        // pulse — lands exactly on the deadline, in a real tick. An idle
+        // ADC only reacts to its start line or a register access.
         if self.is_busy() {
-            IdleHint::Busy
+            IdleHint::IdleFor(u64::from(self.countdown))
         } else {
             IdleHint::Idle
         }
@@ -173,6 +176,27 @@ impl Peripheral for Adc {
 
     fn wake_mask(&self) -> EventVector {
         wake_mask_of(&[self.start_line])
+    }
+
+    fn catch_up(&mut self, ctx: &mut PeriphCtx<'_>, elapsed: u64) {
+        // Replays a skipped mid-conversion span: each skipped cycle
+        // recorded one ActiveCycle and decremented the countdown. The
+        // sleep deadline is the completion tick itself, so a skipped
+        // span always ends strictly before the countdown reaches zero.
+        if !self.is_busy() || elapsed == 0 {
+            return;
+        }
+        debug_assert!(
+            elapsed < u64::from(self.countdown),
+            "skipped span must end before the conversion completes"
+        );
+        ctx.activity
+            .record(self.id, ActivityKind::ActiveCycle, elapsed);
+        self.countdown -= elapsed as u32;
+    }
+
+    fn catch_up_is_noop(&self) -> bool {
+        !self.is_busy()
     }
 
     fn drain_activity(&mut self, into: &mut pels_sim::ActivitySet) {
@@ -268,5 +292,42 @@ mod tests {
     fn zero_latency_rejected() {
         let q = Quantizer::new(Box::new(Constant(0.0)), 8, 0.0, 1.0);
         let _ = Adc::new("adc", q, 0);
+    }
+
+    #[test]
+    fn idle_hint_publishes_exact_completion_deadline() {
+        let mut a = adc_fixture();
+        assert!(matches!(a.idle_hint(), IdleHint::Idle));
+        assert!(a.catch_up_is_noop());
+        a.write(Adc::CTRL, 1).unwrap();
+        // conversion_cycles = 4: after the start (before any tick) the
+        // completing tick is 4 ticks away.
+        assert!(matches!(a.idle_hint(), IdleHint::IdleFor(4)));
+        assert!(!a.catch_up_is_noop());
+        let mut h = Harness::new();
+        h.run(&mut a, 1);
+        assert!(matches!(a.idle_hint(), IdleHint::IdleFor(3)));
+    }
+
+    #[test]
+    fn catch_up_matches_ticked_conversion() {
+        // Reference: tick through the whole conversion.
+        let mut ticked = adc_fixture();
+        ticked.write(Adc::CTRL, 1).unwrap();
+        let mut h = Harness::new();
+        h.run(&mut ticked, 3);
+        // Candidate: replay the same three mid-conversion cycles in
+        // closed form.
+        let mut skipped = adc_fixture();
+        skipped.write(Adc::CTRL, 1).unwrap();
+        let mut h2 = Harness::new();
+        h2.catch_up(&mut skipped, 3);
+        assert_eq!(skipped.countdown, ticked.countdown);
+        assert!(skipped.is_busy());
+        // Both complete — observably — on the very next tick.
+        let out = h2.run(&mut skipped, 1);
+        assert!(out.is_set(11));
+        assert_eq!(skipped.read(Adc::DATA).unwrap(), 4095);
+        assert_eq!(skipped.conversions(), 1);
     }
 }

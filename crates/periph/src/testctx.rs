@@ -48,4 +48,21 @@ impl Harness {
         }
         out
     }
+
+    /// Replays an `elapsed`-cycle skipped span in closed form
+    /// ([`Peripheral::catch_up`]), advancing the harness clock as the
+    /// scheduler would.
+    pub fn catch_up(&mut self, p: &mut dyn Peripheral, elapsed: u64) {
+        let mut ctx = PeriphCtx {
+            cycle: self.cycle,
+            time: SimTime::from_ps(self.period.as_ps() * self.cycle),
+            events_in: EventVector::EMPTY,
+            events_out: EventVector::EMPTY,
+            l2: &mut self.l2,
+            activity: &mut self.activity,
+            trace: &mut self.trace,
+        };
+        p.catch_up(&mut ctx, elapsed);
+        self.cycle += elapsed;
+    }
 }

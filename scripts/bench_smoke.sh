@@ -30,6 +30,15 @@ cargo test -q -p pels-cpu --test decode_cache superblock
 cargo test -q --test obs_invariance superblock
 echo "bench_smoke: superblock differential suite OK"
 
+# Fused-tier differential gate: op fusion and the probe-free sprint
+# dispatch must stay observationally invisible — the CPU-level fused
+# lockstep/self-modifying-code suite, the SoC-level fused pair workload
+# + IRQ sweep, and the per-guard sprint bail-out/token suite.
+cargo test -q -p pels-cpu --test decode_cache fused
+cargo test -q --test active_path fused
+cargo test -q -p pels-soc sprint
+echo "bench_smoke: fused-tier differential suite OK"
+
 # The fleet bench also asserts serial-vs-parallel digest equality.
 cargo bench -q -p pels-bench --bench fleet -- --sample-size 10
 echo "bench_smoke: fleet OK"
@@ -44,12 +53,21 @@ cargo run -q --release -p pels-bench --bin reproduce -- sim_throughput --obs > /
 cargo run -q --release -p pels-bench --bin obs_check
 echo "bench_smoke: obs artifacts OK"
 
-# The throughput artifact must carry the tracked superblock before/after
-# pair — a missing key means the busy-linking workload or its speedup
-# serialization silently dropped out of the measurement.
+# The throughput artifact must carry the tracked superblock and fused
+# before/after pairs — a missing key means a busy-linking tier or its
+# speedup serialization silently dropped out of the measurement — and
+# the fused tier must not run slower than the unfused superblock tier.
 grep -q '"linking_superblock_speedup"' BENCH_sim_throughput.json
 grep -q '"linking_superblock_single_step_cycles_per_sec"' BENCH_sim_throughput.json
-echo "bench_smoke: superblock speedup keys OK"
+grep -q '"linking_fused_speedup"' BENCH_sim_throughput.json
+grep -q '"linking_fused_cycles_per_sec"' BENCH_sim_throughput.json
+fused=$(sed -n 's/.*"linking_fused_cycles_per_sec": \([0-9.]*\).*/\1/p' BENCH_sim_throughput.json)
+unfused=$(sed -n 's/.*"linking_superblock_cycles_per_sec": \([0-9.]*\).*/\1/p' BENCH_sim_throughput.json)
+awk -v f="$fused" -v s="$unfused" 'BEGIN { exit !(f >= s) }' || {
+    echo "bench_smoke: fused tier ($fused cycles/s) slower than unfused superblocks ($unfused cycles/s)" >&2
+    exit 1
+}
+echo "bench_smoke: superblock + fused speedup keys OK"
 
 # Description gate: regenerate the canonical corpus under
 # examples/descs/ (round-trip checked on emit), then validate every

@@ -400,26 +400,176 @@ fn run_for_trace_count_matches_stepped_predicate_wait() {
     assert_identical(&fast, &naive, "after trace-count wait");
 }
 
-/// The deprecated boolean switches still map onto [`ExecMode`], so
-/// pre-redesign callers keep their semantics.
+/// [`ExecMode`] selection on the scenario builder: the default is
+/// `Fast`, an explicit mode sticks, and the last call wins.
 #[test]
-#[allow(deprecated)]
-fn deprecated_force_switches_map_to_exec_modes() {
-    let naive = Scenario::builder().force_naive(true).build().unwrap();
+fn exec_mode_selection_is_explicit_and_last_wins() {
+    let default = Scenario::builder().build().unwrap();
+    assert_eq!(default.exec, ExecMode::Fast);
+    let naive = Scenario::builder()
+        .exec_mode(ExecMode::Naive)
+        .build()
+        .unwrap();
     assert_eq!(naive.exec, ExecMode::Naive);
-    let single = Scenario::builder().force_single_step(true).build().unwrap();
+    let single = Scenario::builder()
+        .exec_mode(ExecMode::SingleStep)
+        .build()
+        .unwrap();
     assert_eq!(single.exec, ExecMode::SingleStep);
-    let toggled_back = Scenario::builder()
-        .force_single_step(true)
-        .force_single_step(false)
+    let last_wins = Scenario::builder()
+        .exec_mode(ExecMode::SingleStep)
+        .exec_mode(ExecMode::Fast)
         .build()
         .unwrap();
-    assert_eq!(toggled_back.exec, ExecMode::Fast);
-    // Naive wins over single-step: clearing single-step must not undo it.
-    let naive_sticky = Scenario::builder()
-        .force_naive(true)
-        .force_single_step(false)
-        .build()
+    assert_eq!(last_wins.exec, ExecMode::Fast);
+}
+
+/// A never-sleeping compute loop dense in the three fusion classes —
+/// a `lui+addi` pair, a same-rd ALU-immediate chain and an
+/// always-taken `slt+bne` compare-and-branch — with the timer-driven
+/// PELS toggle workload around it.
+fn pair_dense_soc() -> Soc {
+    use pels_repro::soc::event_map::AL_GPIO_TOGGLE;
+    let mut soc = SocBuilder::new().pels_links(2).build();
+    soc.pels_mut()
+        .link_mut(0)
+        .set_mask(pels_repro::sim::EventVector::mask_of(&[EV_TIMER_CMP]));
+    soc.pels_mut()
+        .link_mut(0)
+        .load_program(
+            &pels_core::Program::new(vec![
+                pels_core::Command::Action {
+                    mode: pels_core::ActionMode::Toggle,
+                    group: 0,
+                    mask: 1 << (AL_GPIO_TOGGLE - 16),
+                },
+                pels_core::Command::Halt,
+            ])
+            .expect("valid"),
+        )
+        .expect("fits");
+    soc.load_program(
+        RESET_PC,
+        &[
+            asm::lui(5, 0x1000),    // ┐ LuiAddi pair
+            asm::addi(5, 5, 0x21),  // ┘
+            asm::addi(1, 1, 1),     // ┐ same-rd AluImmPair
+            asm::addi(1, 1, 2),     // ┘
+            asm::slt(12, 0, 5),     // ┐ CmpBranch pair, always taken
+            asm::bne(12, 0, -20),   // ┘
+        ],
+    );
+    soc.timer_mut().write(Timer::CMP, 16).unwrap();
+    soc.timer_mut()
+        .write(Timer::CTRL, Timer::CTRL_ENABLE)
         .unwrap();
-    assert_eq!(naive_sticky.exec, ExecMode::Naive);
+    soc
+}
+
+/// Three-tier SoC differential over the pair-dense workload: fused
+/// superblocks, unfused superblocks and single-stepping observe the
+/// same stimulus schedule bit-identically — trace, activity image,
+/// architectural and peripheral state at every step.
+#[test]
+fn fused_pair_workload_is_identical_across_tiers() {
+    let ops = [
+        Op::Run(37),
+        Op::Inject(EV_GPIO_RISE),
+        Op::Run(101),
+        Op::PokeTimerCmp(24),
+        Op::Run(500),
+        Op::GpioInput(3),
+        Op::Run(263),
+    ];
+    let mut fused = pair_dense_soc();
+    let mut unfused = pair_dense_soc();
+    unfused.cpu_mut().set_fusion_enabled(false);
+    let mut single = pair_dense_soc();
+    single.cpu_mut().set_superblocks_enabled(false);
+    for (i, &op) in ops.iter().enumerate() {
+        apply(&mut fused, op);
+        apply(&mut unfused, op);
+        apply(&mut single, op);
+        assert_identical(&fused, &unfused, &format!("unfused, op {i} ({op:?})"));
+        assert_identical(&fused, &single, &format!("single, op {i} ({op:?})"));
+    }
+    let af = activity_image(&fused.drain_activity());
+    let au = activity_image(&unfused.drain_activity());
+    let asg = activity_image(&single.drain_activity());
+    assert_eq!(af, au, "fused vs unfused activity (power input) diverges");
+    assert_eq!(af, asg, "fused vs single-step activity (power input) diverges");
+    let s = fused.superblock_stats();
+    assert!(s.fused_pairs > 0, "the workload exercised pair fusion: {s:?}");
+    assert_eq!(unfused.superblock_stats().fused_ops, 0, "unfused tier stays cold");
+}
+
+/// IRQ delivery across *fused pairs*, property-style: sweep the
+/// external event arrival cycle across the pair-dense superblock span
+/// and demand the interrupt is taken on exactly the same cycle as
+/// single-stepped execution.
+#[test]
+fn irq_delivery_across_fused_pairs_is_cycle_exact() {
+    use pels_repro::cpu::csr::addr as csr;
+    use pels_repro::soc::event_map::{irq_bit_for_event, EV_ADC_DONE};
+
+    let bit = irq_bit_for_event(EV_ADC_DONE);
+    let vector_table = RESET_PC + 0x200;
+    let build = |single_step: bool| {
+        let mut soc = SocBuilder::new().build();
+        soc.load_program(
+            RESET_PC,
+            &[
+                asm::lui(5, 0x1000),
+                asm::addi(5, 5, 0x21),
+                asm::addi(1, 1, 1),
+                asm::addi(1, 1, 2),
+                asm::slt(12, 0, 5),
+                asm::bne(12, 0, -20),
+            ],
+        );
+        soc.load_program(
+            vector_table + 4 * bit,
+            &[asm::addi(15, 15, 1), asm::mret()],
+        );
+        let cpu = soc.cpu_mut();
+        cpu.csrs.write(csr::MTVEC, vector_table);
+        cpu.csrs.write(csr::MIE, 1 << bit);
+        cpu.csrs.write(csr::MSTATUS, 8); // MSTATUS.MIE
+        if single_step {
+            cpu.set_superblocks_enabled(false);
+        }
+        soc
+    };
+
+    for arrival in 0..32u64 {
+        let mut fast = build(false);
+        let mut single = build(true);
+        fast.run(arrival);
+        single.run(arrival);
+        fast.inject_event(EV_ADC_DONE);
+        single.inject_event(EV_ADC_DONE);
+        for chunk in 0..20 {
+            fast.run(3);
+            single.run(3);
+            assert_eq!(
+                fast.cpu().irq_entries(),
+                single.cpu().irq_entries(),
+                "arrival {arrival} chunk {chunk}: IRQ entry cycle diverges"
+            );
+            assert_identical(
+                &fast,
+                &single,
+                &format!("arrival {arrival} chunk {chunk}"),
+            );
+        }
+        assert_eq!(fast.cpu().irq_entries(), 1, "arrival {arrival}: IRQ taken");
+        assert_eq!(fast.cpu().reg(15), 1, "arrival {arrival}: handler ran once");
+    }
+    // The sweep is only meaningful if the fast side actually fuses.
+    let mut fast = build(false);
+    fast.run(500);
+    assert!(
+        fast.superblock_stats().fused_pairs > 0,
+        "kernel ran from fused pairs"
+    );
 }
