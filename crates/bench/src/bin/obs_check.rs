@@ -5,11 +5,15 @@
 //! ```
 //!
 //! Validates `OBS_metrics.json` (a flat object of non-negative integer
-//! counters, with the decode-cache, scheduler and fleet-worker keys
-//! present and nonzero), `OBS_trace.json` (well-formed Chrome
-//! trace-event JSON that must include `"ph": "C"` power counter tracks)
-//! and `OBS_timeline.json` (at least one window, monotone contiguous
-//! window timestamps, non-negative per-component power).
+//! counters, with the decode-cache, scheduler, superblock/fusion and
+//! fleet-worker keys present and nonzero), `OBS_trace.json` (well-formed
+//! Chrome trace-event JSON that must include `"ph": "C"` power counter
+//! tracks and `"ph": "s"`/`"f"` causal flow arrows),
+//! `OBS_timeline.json` (at least one window, monotone contiguous
+//! window timestamps, non-negative per-component power) and
+//! `OBS_flows.json` (per-mediator sections with complete flows, an
+//! exemplar hop chain with monotone timestamps, and every stage drawn
+//! from the [`pels_sim::FLOW_STAGES`] allowlist).
 //! `scripts/bench_smoke.sh` runs this after
 //! `reproduce -- sim_throughput --obs`, so any drift in the exporters
 //! fails the tier-1 verify pass instead of silently shipping broken
@@ -19,15 +23,20 @@ use pels_obs::json::{self, Value};
 use std::process::ExitCode;
 
 /// Counters the reference `--obs` workload must drive to a nonzero
-/// value: a zero here means the busy-CPU scenario or the fleet pass no
-/// longer exercises that layer.
+/// value: a zero here means the busy-CPU scenario, the fused spin loop
+/// or the fleet pass no longer exercises that layer.
 const NONZERO_KEYS: &[&str] = &[
     "cpu.cycles",
     "cpu.retired",
     "cpu.decode_cache.hits",
     "cpu.decode_cache.misses",
+    "cpu.superblock.runs",
+    "cpu.superblock.instrs",
+    "cpu.fused.ops",
+    "cpu.fused.pairs",
     "soc.sched.rebuilds",
     "soc.sched.sleeps",
+    "soc.sprint.spans",
     "fleet.jobs",
     "fleet.workers",
     "fleet.worker0.jobs",
@@ -135,6 +144,112 @@ fn check_trace(path: &str) -> Result<(), String> {
              is missing from the trace"
         ));
     }
+    // The flow probes must have contributed causal arrows; `validate`
+    // above already proved every start has a matching finish and every
+    // flow event binds to an anchor slice, so presence is all that is
+    // left to gate.
+    let flows = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .map(|events| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some("s"))
+                .count()
+        })
+        .unwrap_or(0);
+    if flows == 0 {
+        return Err(format!(
+            "{path}: no `\"ph\": \"s\"` flow events — the causal flow \
+             arrows are missing from the trace"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates `OBS_flows.json`: every per-mediator section must carry a
+/// non-empty flow report whose stage labels end in allowlisted stages,
+/// and an exemplar hop chain with monotone timestamps and allowlisted
+/// typed stages.
+fn check_flows(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| format!("{path}: top level must be an object"))?;
+    let stage_ok = |stage: &str| pels_sim::FLOW_STAGES.contains(&stage);
+    let mut sections = 0usize;
+    for (name, section) in obj {
+        if name == "schema_version" {
+            continue;
+        }
+        sections += 1;
+        let ctx = |msg: &str| format!("{path}: section `{name}`: {msg}");
+        section
+            .get("freq_mhz")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ctx("missing numeric `freq_mhz`"))?;
+        let report = section
+            .get("report")
+            .ok_or_else(|| ctx("missing `report` object"))?;
+        match report.get("flows").and_then(Value::as_u64) {
+            None => return Err(ctx("missing integer `report.flows`")),
+            Some(0) => return Err(ctx("report has no complete flows")),
+            Some(_) => {}
+        }
+        let stages = report
+            .get("stages")
+            .and_then(Value::as_object)
+            .ok_or_else(|| ctx("missing `report.stages` object"))?;
+        if stages.is_empty() {
+            return Err(ctx("report attributes no stages"));
+        }
+        for (label, _) in stages {
+            // Attribution labels are `<component>.<stage>`; the typed
+            // stage is the suffix after the last dot.
+            let stage = label.rsplit('.').next().unwrap_or(label);
+            if !stage_ok(stage) {
+                return Err(ctx(&format!(
+                    "stage label `{label}` ends in `{stage}`, which is \
+                     not in the FLOW_STAGES allowlist"
+                )));
+            }
+        }
+        let hops = section
+            .get("exemplar_hops")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ctx("missing `exemplar_hops` array"))?;
+        if hops.is_empty() {
+            return Err(ctx("exemplar hop chain is empty"));
+        }
+        let mut prev_ps: Option<u64> = None;
+        for (i, hop) in hops.iter().enumerate() {
+            let hctx = |msg: &str| ctx(&format!("hop {i}: {msg}"));
+            let t_ps = hop
+                .get("t_ps")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| hctx("missing integer `t_ps`"))?;
+            if prev_ps.is_some_and(|prev| t_ps < prev) {
+                return Err(hctx("hop timestamps are not monotone"));
+            }
+            prev_ps = Some(t_ps);
+            hop.get("source")
+                .and_then(Value::as_str)
+                .ok_or_else(|| hctx("missing string `source`"))?;
+            let stage = hop
+                .get("stage")
+                .and_then(Value::as_str)
+                .ok_or_else(|| hctx("missing string `stage`"))?;
+            if !stage_ok(stage) {
+                return Err(hctx(&format!(
+                    "stage `{stage}` is not in the FLOW_STAGES allowlist"
+                )));
+            }
+        }
+    }
+    if sections == 0 {
+        return Err(format!("{path}: no per-mediator sections"));
+    }
     Ok(())
 }
 
@@ -198,10 +313,11 @@ fn check_timeline(path: &str) -> Result<(), String> {
 type Check = fn(&str) -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let checks: [(&str, Check); 3] = [
+    let checks: [(&str, Check); 4] = [
         ("OBS_metrics.json", check_metrics),
         ("OBS_trace.json", check_trace),
         ("OBS_timeline.json", check_timeline),
+        ("OBS_flows.json", check_flows),
     ];
     let mut ok = true;
     for (path, check) in checks {

@@ -134,12 +134,54 @@ fn timeline_to_json(
     s
 }
 
+/// Serializes the three per-mediator flow decompositions as
+/// `OBS_flows.json`: per section the [`pels_obs::FlowReport`] object
+/// plus the exemplar hop chain of its first complete flow (timestamps,
+/// sources, typed stages). `obs_check` gates non-emptiness, hop-time
+/// monotonicity and the stage allowlist against this file.
+fn flows_to_json(sections: &[(&str, &pels_soc::ScenarioReport)]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    for (i, (name, report)) in sections.iter().enumerate() {
+        let fr = report.flow_report().expect("flows recorded");
+        let flows = report.flows.as_ref().expect("flows recorded");
+        let sep = if i + 1 < sections.len() { "," } else { "" };
+        let _ = writeln!(s, "  \"{name}\": {{");
+        let _ = writeln!(s, "    \"freq_mhz\": {},", report.freq.as_mhz());
+        let _ = writeln!(s, "    \"report\": {},", fr.to_json());
+        s.push_str("    \"exemplar_hops\": [");
+        let exemplar = flows
+            .flow_ids()
+            .into_iter()
+            .find(|&id| flows.hops_of(id).any(|h| h.stage == fr.terminal()));
+        if let Some(id) = exemplar {
+            let hops: Vec<_> = flows.hops_of(id).collect();
+            for (j, h) in hops.iter().enumerate() {
+                let hsep = if j + 1 < hops.len() { "," } else { "" };
+                let _ = write!(
+                    s,
+                    "\n      {{\"t_ps\": {}, \"source\": \"{}\", \"stage\": \"{}\"}}{hsep}",
+                    h.time.as_ps(),
+                    pels_obs::json::escape(h.source_name()),
+                    pels_obs::json::escape(h.stage),
+                );
+            }
+        }
+        let _ = writeln!(s, "\n    ]\n  }}{sep}");
+    }
+    s.push_str("}\n");
+    s
+}
+
 /// The `--obs` pass: runs a busy-CPU scenario (activity timeline
-/// sampled every [`OBS_TIMELINE_WINDOW`] cycles) and a small fleet with
-/// full metrics collection, then exports the merged counter snapshot,
-/// the Chrome trace (simulated-time events + host-time spans + power
-/// counter tracks) and the power timeline, and renders the latency
-/// histogram and power sparkline inline.
+/// sampled every [`OBS_TIMELINE_WINDOW`] cycles), a fused-superblock
+/// spin workload and a small fleet with full metrics collection, plus
+/// the three flow-traced latency probes. Exports the merged counter
+/// snapshot, the Chrome trace (simulated-time events + flow arrows +
+/// host-time spans + power counter tracks), the power timeline and the
+/// per-stage flow decomposition, and renders the latency histogram,
+/// power sparkline and PELS-vs-IRQ blame tables inline.
 fn run_obs_artifact() -> Result<String, String> {
     // The profiler was enabled in `main` before any artifact ran; start
     // the event buffer from a clean slate so the exported trace covers
@@ -160,6 +202,38 @@ fn run_obs_artifact() -> Result<String, String> {
         .map_err(|e| format!("obs scenario failed: {e}"))?;
     reg.absorb(report.metrics.as_ref().expect("obs(true) snapshot"));
 
+    // Busy-linking fused workload: the interrupt handler alone retires
+    // too few straight-line ALU ops for the superblock and fusion tiers
+    // to engage, so those counters would vanish from the snapshot (zero
+    // values are filtered). A spinning fusible loop — `lui+addi` and an
+    // ALU-immediate chain through one live destination — drives
+    // `cpu.superblock.*`, `cpu.fused.*` and `soc.sprint.*` to honest
+    // nonzero values.
+    {
+        use pels_cpu::asm;
+        let mut soc = pels_soc::SocBuilder::new().build();
+        soc.load_program(
+            pels_soc::mem_map::RESET_PC,
+            &[
+                asm::lui(1, 0x1234_5000),
+                asm::addi(1, 1, 0x678),
+                asm::addi(2, 2, 1),
+                asm::addi(2, 2, 1),
+                asm::jal(0, -16),
+            ],
+        );
+        let _span = pels_obs::profile::span("obs.fused_spin");
+        soc.run(4096);
+        // Publish into a private registry and absorb the (zero-filtered)
+        // snapshot: `publish_metrics` has set semantics, so publishing
+        // straight into `reg` would overwrite the scenario's counters
+        // with this workload's (including zeros for layers it never
+        // touches, e.g. the scheduler's sleep counter).
+        let mut spin_reg = pels_obs::MetricsRegistry::new();
+        soc.publish_metrics(&mut spin_reg);
+        reg.absorb(&spin_reg.snapshot());
+    }
+
     // A small fleet on one worker — single-worker attribution is
     // deterministic, so `fleet.worker0.jobs` is reliably nonzero for the
     // obs_check schema gate.
@@ -167,6 +241,33 @@ fn run_obs_artifact() -> Result<String, String> {
         .run_sweep(&SweepSpec::new().mediators(&[Mediator::PelsSequenced, Mediator::IbexIrq]))
         .map_err(|e| format!("obs fleet sweep invalid: {e}"))?;
     fleet.publish_metrics(&mut reg);
+
+    // Flow-traced latency probes: one per mediation path. Each records
+    // the causal hop chain of every measured event, so the end-to-end
+    // latencies the paper reports (7 / 2 / 16 cycles) decompose into a
+    // per-stage blame table that sums exactly — see
+    // `tests/flow_properties.rs` for the telescoping proof.
+    let probe = |m: Mediator| -> Result<pels_soc::ScenarioReport, String> {
+        Scenario::latency_probe(m)
+            .to_builder()
+            .flows(true)
+            .build()
+            .map_err(|e| format!("flow probe invalid: {e}"))?
+            .try_run()
+            .map_err(|e| format!("flow probe failed: {e}"))
+    };
+    let seq = probe(Mediator::PelsSequenced)?;
+    let inst = probe(Mediator::PelsInstant)?;
+    let irq = probe(Mediator::IbexIrq)?;
+    std::fs::write(
+        "OBS_flows.json",
+        flows_to_json(&[
+            ("pels_sequenced", &seq),
+            ("pels_instant", &inst),
+            ("ibex_irq", &irq),
+        ]),
+    )
+    .map_err(|e| format!("writing OBS_flows.json: {e}"))?;
 
     let snap = reg.snapshot();
     std::fs::write("OBS_metrics.json", snap.to_json())
@@ -194,6 +295,11 @@ fn run_obs_artifact() -> Result<String, String> {
         chrome.add_counter("power_uw", s.start.as_us_f64(), &series);
         chrome.add_counter("power_total_uw", s.start.as_us_f64(), &[("total", s.total_uw)]);
     }
+    // Causal flow arrows: the PELS and IRQ probe chains rendered as
+    // Perfetto s/t/f flows between per-component anchor slices.
+    for probe_report in [&seq, &irq] {
+        chrome.add_flow_events(probe_report.flows.as_ref().expect("flows(true) records"));
+    }
     chrome.add_host_spans(&pels_obs::profile::take_events());
     let doc = chrome.finish();
     pels_obs::chrome::validate(&doc).map_err(|e| format!("chrome trace invalid: {e}"))?;
@@ -204,7 +310,9 @@ fn run_obs_artifact() -> Result<String, String> {
         "Observability - metrics snapshot, trace export and timeline\n{snap}\n{}\n\
          latency distribution ({} events, p50 {} / p99 {} cycles):\n{}\
          power over simulated time ({} windows of ~{} cycles, mean {:.1} uW):\n  {}\n\
-         (wrote OBS_metrics.json, OBS_trace.json, OBS_timeline.json)\n",
+         where the cycles go - PELS sequenced RMW:\n{}\
+         where the cycles go - Ibex interrupt path:\n{}\
+         (wrote OBS_metrics.json, OBS_trace.json, OBS_timeline.json, OBS_flows.json)\n",
         pels_obs::profile::report().render(),
         report.latency_hist.count(),
         report.stats.p50,
@@ -214,6 +322,8 @@ fn run_obs_artifact() -> Result<String, String> {
         OBS_TIMELINE_WINDOW,
         power.mean_total_uw(),
         pels_obs::hist::sparkline(&power.total_series()),
+        seq.flow_report().expect("flows recorded").render(),
+        irq.flow_report().expect("flows recorded").render(),
     ))
 }
 

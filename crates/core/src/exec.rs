@@ -246,7 +246,7 @@ impl ExecutionUnit {
         }
         match self.state {
             State::Idle => {
-                if trigger.pop().is_some() {
+                if let Some(token) = trigger.pop() {
                     self.stats.triggers_serviced += 1;
                     self.pc = 0;
                     // The SCM read is issued now; the command executes
@@ -261,6 +261,10 @@ impl ExecutionUnit {
                     };
                     self.stats.busy_cycles += 1;
                     ctx.trace.record(ctx.time, ctx.id, "trigger", ctx.cycle);
+                    // Adopt (or clear) the flow the token carried; the
+                    // link's context threads every later hop of this
+                    // program run.
+                    ctx.trace.flow_begin(ctx.time, ctx.id, token.flow, "trigger");
                 }
             }
             State::Fetch => {
@@ -293,6 +297,7 @@ impl ExecutionUnit {
                                     "capture",
                                     u64::from(self.dpr),
                                 );
+                                ctx.trace.flow_hop(ctx.time, ctx.id, "capture");
                                 self.advance();
                             }
                             _ => {
@@ -312,6 +317,9 @@ impl ExecutionUnit {
                     _ => unreachable!("WriteTurn only entered for RMW commands"),
                 };
                 if ctx.bus.issue_write(self.addr_of(offset), new_value) {
+                    // Hop at issue time (not response) so the downstream
+                    // pad-out hop can never share a timestamp with it.
+                    ctx.trace.flow_hop(ctx.time, ctx.id, "write");
                     self.state = State::WriteWait;
                 }
                 // else: port busy (cannot happen with a private port, but
@@ -365,6 +373,7 @@ impl ExecutionUnit {
     fn bus_error(&mut self, ctx: &mut ExecCtx<'_>) {
         self.stats.bus_errors += 1;
         ctx.trace.record(ctx.time, ctx.id, "bus_error", ctx.cycle);
+        ctx.trace.flow_hop(ctx.time, ctx.id, "bus_error");
         self.finish_program();
     }
 
@@ -374,12 +383,18 @@ impl ExecutionUnit {
             Command::Nop => self.advance(),
             Command::Halt => {
                 ctx.trace.record(ctx.time, ctx.id, "halt", ctx.cycle);
+                ctx.trace.flow_hop(ctx.time, ctx.id, "halt");
                 self.finish_program();
             }
             Command::Action { mode, group, mask } => {
                 ctx.actions.apply(mode, group, mask);
                 ctx.trace
                     .record(ctx.time, ctx.id, "action", u64::from(mask));
+                ctx.trace.flow_hop(ctx.time, ctx.id, "action");
+                // The driven action lines carry the flow onward (loopback
+                // retriggers, wired peripheral actions).
+                ctx.trace
+                    .flow_stage_lines(ctx.id, u64::from(mask) << (32 * u64::from(group & 1)));
                 self.advance();
             }
             Command::Wait { cycles } => {
@@ -414,6 +429,7 @@ impl ExecutionUnit {
             }
             Command::Write { offset, value } => {
                 if ctx.bus.issue_write(self.addr_of(offset), value) {
+                    ctx.trace.flow_hop(ctx.time, ctx.id, "write");
                     self.state = State::WriteWait;
                 }
             }

@@ -143,6 +143,14 @@ impl Link {
         self.trigger.sample(events, cycle)
     }
 
+    /// [`Link::sample_events`], additionally looking up the causal flow
+    /// carried by the masked event wires so it rides the trigger token.
+    /// One branch (inside `flow_on_lines`) when flows are off.
+    pub fn sample_events_traced(&mut self, events: EventVector, cycle: u64, trace: &Trace) -> bool {
+        let flow = trace.flow_on_lines((events & self.trigger.mask()).bits());
+        self.trigger.sample_with_flow(events, cycle, flow)
+    }
+
     /// Advances the execution unit by one cycle.
     pub fn step_exec(
         &mut self,

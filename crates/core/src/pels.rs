@@ -294,7 +294,7 @@ impl Pels {
         let events =
             external_events | (self.prev_actions & self.config.loopback);
         for link in &mut self.links {
-            link.sample_events(events, cycle);
+            link.sample_events_traced(events, cycle, trace);
         }
 
         // 3. Latch the output image.

@@ -41,6 +41,10 @@ pub struct TriggerToken {
     pub events: EventVector,
     /// Cycle the trigger fired.
     pub cycle: u64,
+    /// Causal flow carried by the event wire that fired the trigger
+    /// (`0` = none / flow tracing off). Riding the FIFO means drops and
+    /// occupancy automatically apply to flows too.
+    pub flow: u64,
 }
 
 /// Mask + condition + FIFO.
@@ -126,6 +130,12 @@ impl TriggerUnit {
     /// condition fires. Returns whether a trigger was produced (even if it
     /// was then dropped by a full FIFO).
     pub fn sample(&mut self, events: EventVector, cycle: u64) -> bool {
+        self.sample_with_flow(events, cycle, 0)
+    }
+
+    /// [`TriggerUnit::sample`] with a causal flow id to carry on the
+    /// token (`0` = none).
+    pub fn sample_with_flow(&mut self, events: EventVector, cycle: u64, flow: u64) -> bool {
         if !self.matches(events) {
             return false;
         }
@@ -133,6 +143,7 @@ impl TriggerUnit {
         let _ = self.fifo.push(TriggerToken {
             events: events & self.mask,
             cycle,
+            flow,
         });
         true
     }

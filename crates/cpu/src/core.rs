@@ -617,6 +617,9 @@ pub struct Cpu {
     stall: u32,
     pending: Option<PendingLoad>,
     last_irq_ack: Option<u32>,
+    /// Core cycle of the most recent `mret`, for the causal-flow layer
+    /// (polled by the SoC only when flow tracing is on).
+    mret_taken: Option<u64>,
     /// One-word prefetch buffer (Ibex-style): consecutive 16-bit parcels
     /// of the same word cost a single memory fetch.
     fetch_buf: Option<(u32, u32)>,
@@ -675,6 +678,7 @@ impl Cpu {
             stall: 0,
             pending: None,
             last_irq_ack: None,
+            mret_taken: None,
             fetch_buf: None,
             dcache: Box::new([INVALID_LINE; DECODE_CACHE_ENTRIES]),
             dcache_enabled: true,
@@ -751,6 +755,13 @@ impl Cpu {
     /// clear an edge-latched pending bit.
     pub fn take_irq_ack(&mut self) -> Option<u32> {
         self.last_irq_ack.take()
+    }
+
+    /// Takes the core cycle of the most recent `mret`, if one retired
+    /// since the last poll — the handler-exit observation point of the
+    /// causal-flow layer.
+    pub fn take_mret(&mut self) -> Option<u64> {
+        self.mret_taken.take()
     }
 
     /// Cycles spent asleep in `wfi`.
@@ -1779,6 +1790,7 @@ impl Cpu {
             Instr::Ebreak => self.halt(HaltCause::Ebreak),
             Instr::Mret => {
                 self.pc = self.csrs.exit_interrupt();
+                self.mret_taken = Some(self.cycles);
                 self.retire(timing::MRET - 1);
             }
             Instr::Wfi => {

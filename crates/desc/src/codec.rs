@@ -320,6 +320,7 @@ const SCENARIO_KEYS: &[&str] = &[
     "exec",
     "obs",
     "timeline_window",
+    "flows",
     "system",
 ];
 
@@ -365,6 +366,12 @@ fn dec_scenario(v: &Value, path: &str) -> Result<ScenarioDesc, DescError> {
             req(obj, "timeline_window", path)?,
             &format!("{path}/timeline_window"),
         )?,
+        // Optional (defaults off) so descriptions written before the
+        // causal-flow layer still parse; emission always writes it.
+        flows: match opt(obj, "flows") {
+            Some(v) => dec_bool(v, &format!("{path}/flows"))?,
+            None => false,
+        },
     })
 }
 
@@ -508,6 +515,7 @@ impl ScenarioDesc {
         let _ = writeln!(s, "  \"exec\": \"{}\",", self.exec);
         let _ = writeln!(s, "  \"obs\": {},", self.obs);
         let _ = writeln!(s, "  \"timeline_window\": {},", self.timeline_window);
+        let _ = writeln!(s, "  \"flows\": {},", self.flows);
         s.push_str("  \"system\": ");
         write_system(&mut s, &self.system, "  ", false);
         s.push_str("\n}\n");

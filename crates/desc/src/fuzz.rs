@@ -107,6 +107,11 @@ impl DescFuzzer {
         desc.sample_period = SimTime::from_ps(cycles * desc.system.freq.period_ps());
         desc.threshold_level = self.rng.range_u64(5, 30) as f64 / 10.0;
 
+        // Flow tracing is pure observation; sprinkling it over the corpus
+        // keeps the decoder's optional-key path and the invariance claim
+        // exercised by the differential fuzzer.
+        desc.flows = self.rng.ratio(1, 4);
+
         let pels_mediated = desc.mediator != Mediator::IbexIrq;
         if pels_mediated && self.rng.ratio(1, 4) {
             // The single-RMW program actuates on every trigger, so any

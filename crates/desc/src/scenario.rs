@@ -49,6 +49,10 @@ pub struct ScenarioDesc {
     /// Nominal sampling-window width (in cycles) for the activity
     /// timeline of the active run; `0` disables sampling.
     pub timeline_window: u64,
+    /// Record causal event flows (`pels_sim::flow`) during the run. Pure
+    /// observation like `obs`: the differential `flow_invariance` suite
+    /// proves runs are bit-identical with flows on and off.
+    pub flows: bool,
 }
 
 impl Default for ScenarioDesc {
@@ -68,6 +72,7 @@ impl Default for ScenarioDesc {
             exec: ExecMode::Fast,
             obs: false,
             timeline_window: 0,
+            flows: false,
         }
     }
 }

@@ -212,6 +212,25 @@ impl FleetReport {
         merged
     }
 
+    /// Merges every succeeded job's per-stage flow attribution into one
+    /// blame table for the whole batch — empty when no job ran with
+    /// [`crate::SweepSpec::flows`].
+    ///
+    /// Deterministic whatever the worker count or completion order, like
+    /// [`FleetReport::merged_latency_histogram`]: jobs fold in input
+    /// order and [`pels_obs::FlowReport::merge`] is order-invariant
+    /// (`tests/flow_properties.rs`). Host-side reduction only — the
+    /// digest does not cover flows (they are pure observation).
+    pub fn flow_report(&self) -> pels_obs::FlowReport {
+        let mut merged = pels_obs::FlowReport::default();
+        for (_, o) in self.succeeded() {
+            if let Some(r) = o.report.flow_report() {
+                merged.merge(&r);
+            }
+        }
+        merged
+    }
+
     /// Realized speedup: total worker-busy time over batch wall time.
     /// ~1.0 on a single worker (or a single-core host); approaches the
     /// worker count when the longest-first schedule packs well.

@@ -43,6 +43,7 @@ pub struct SweepSpec {
     obs: bool,
     timeline_window: u64,
     exec: ExecMode,
+    flows: bool,
 }
 
 impl Default for SweepSpec {
@@ -59,6 +60,7 @@ impl Default for SweepSpec {
             obs: false,
             timeline_window: 0,
             exec: ExecMode::Fast,
+            flows: false,
         }
     }
 }
@@ -127,6 +129,18 @@ impl SweepSpec {
     /// (`tests/obs_invariance.rs`).
     pub fn timeline_window(mut self, window_cycles: u64) -> Self {
         self.timeline_window = window_cycles;
+        self
+    }
+
+    /// `true` → every job records causal event flows
+    /// ([`pels_soc::ScenarioReport::flows`]), and the fleet report
+    /// carries their merged per-stage attribution
+    /// ([`crate::FleetReport::flow_report`]). Applied uniformly, like
+    /// [`SweepSpec::obs`] — a reporting switch, not a sweep axis. Flow
+    /// recording never perturbs results, so the fleet digest is
+    /// invariant under this setting (`tests/flow_invariance.rs`).
+    pub fn flows(mut self, flows: bool) -> Self {
+        self.flows = flows;
         self
     }
 
@@ -216,6 +230,7 @@ impl SweepSpec {
                                 desc.obs = self.obs;
                                 desc.timeline_window = self.timeline_window;
                                 desc.exec = self.exec;
+                                desc.flows = self.flows;
                                 let scenario = Scenario::from_desc(desc)?;
                                 let prefix = if name.is_empty() {
                                     String::new()

@@ -136,6 +136,11 @@ pub struct ApbFabric<S> {
     /// Slaves whose `read`/`write` executed during the most recent tick
     /// (bit per slave index).
     touched: u64,
+    /// `(slave index, master index)` for every successful write committed
+    /// during the most recent tick — the causal-flow layer uses this to
+    /// attribute register-write effects (e.g. a GPIO pad change) to the
+    /// master that caused them.
+    write_commits: Vec<(usize, usize)>,
 }
 
 impl<S: ApbSlave> ApbFabric<S> {
@@ -164,6 +169,7 @@ impl<S: ApbSlave> ApbFabric<S> {
             stats: FabricStats::default(),
             id: ComponentId::intern("fabric"),
             touched: 0,
+            write_commits: Vec::new(),
         };
         fabric.rebuild_lanes();
         fabric
@@ -347,6 +353,9 @@ impl<S: ApbSlave> ApbFabric<S> {
     /// the APB back-to-back rate of one transfer per two cycles.
     pub fn tick(&mut self) {
         self.touched = 0;
+        if !self.write_commits.is_empty() {
+            self.write_commits.clear();
+        }
         // Quiescent fast path: nothing pending, nothing in flight. Only
         // the cycle counter advances — stall/busy accounting would be
         // zero this cycle anyway.
@@ -479,6 +488,8 @@ impl<S: ApbSlave> ApbFabric<S> {
                 };
                 if r.is_err() {
                     self.stats.slave_errors += 1;
+                } else if flight.request.dir == Dir::Write {
+                    self.write_commits.push((slave, flight.master));
                 }
                 r
             }
@@ -490,6 +501,18 @@ impl<S: ApbSlave> ApbFabric<S> {
     /// ≥ 64 are not representable (no SoC here comes close).
     pub fn touched_slaves(&self) -> u64 {
         self.touched
+    }
+
+    /// `(slave index, master index)` for every write committed during the
+    /// most recent [`ApbFabric::tick`].
+    pub fn write_commits(&self) -> &[(usize, usize)] {
+        &self.write_commits
+    }
+
+    /// Shared access to a slave by raw index (as reported by
+    /// [`ApbFabric::write_commits`]).
+    pub fn slave_at(&self, idx: usize) -> &S {
+        &self.slaves[idx]
     }
 
     /// Whether the fabric is completely idle: no request pending at any

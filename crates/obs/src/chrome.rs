@@ -14,7 +14,7 @@
 
 use crate::json::{self, Value};
 use crate::profile::SpanEvent;
-use pels_sim::{ComponentId, Trace};
+use pels_sim::{ComponentId, FlowHop, FlowTrace, Trace};
 use std::collections::HashMap;
 
 /// Process id used for simulated-time events.
@@ -40,6 +40,7 @@ pub struct ChromeTrace {
     events: Vec<String>,
     sim_tids: HashMap<ComponentId, u64>,
     named_threads: Vec<(u64, u64)>,
+    flow_id_base: u64,
 }
 
 impl ChromeTrace {
@@ -114,6 +115,55 @@ impl ChromeTrace {
         ));
     }
 
+    /// Adds every causal flow as a Perfetto flow-arrow chain: each hop
+    /// becomes a short anchor slice (`"X"`) on its component's track
+    /// under the `sim` process, bound to a `"s"`/`"t"`/`"f"` flow event
+    /// carrying the [`pels_sim::FlowId`] as the binding id. Viewers draw
+    /// arrows from slice to slice along each flow — the rendered causal
+    /// thread from trigger edge to task retirement. Flows with fewer
+    /// than two hops draw no arrow and are skipped.
+    ///
+    /// Binding ids from distinct calls are offset into disjoint ranges,
+    /// so flow traces from independent runs (each minting ids from 1)
+    /// can share one document without their arrows merging.
+    pub fn add_flow_events(&mut self, flows: &FlowTrace) {
+        let base = self.flow_id_base;
+        for id in flows.flow_ids() {
+            self.flow_id_base = self.flow_id_base.max(base + id.0);
+            let hops: Vec<&FlowHop> = flows.hops_of(id).collect();
+            if hops.len() < 2 {
+                continue;
+            }
+            for (i, h) in hops.iter().enumerate() {
+                let next = self.sim_tids.len() as u64 + 1;
+                let tid = *self.sim_tids.entry(h.source).or_insert(next);
+                self.name_thread(SIM_PID, tid, h.source.name());
+                let ts = h.time.as_ps() as f64 / 1e6;
+                // Anchor slice the flow event binds to (flow arrows
+                // attach to slices, not instants).
+                self.events.push(format!(
+                    "{{\"ph\": \"X\", \"name\": \"{}.{}\", \"cat\": \"flow\", \
+                     \"ts\": {ts}, \"dur\": 0.001, \"pid\": {SIM_PID}, \"tid\": {tid}}}",
+                    json::escape(h.source.name()),
+                    json::escape(h.stage),
+                ));
+                let ph = if i == 0 {
+                    "s"
+                } else if i + 1 == hops.len() {
+                    "f"
+                } else {
+                    "t"
+                };
+                let bp = if ph == "f" { ", \"bp\": \"e\"" } else { "" };
+                self.events.push(format!(
+                    "{{\"ph\": \"{ph}\", \"name\": \"flow\", \"cat\": \"flow\", \
+                     \"id\": {}, \"ts\": {ts}, \"pid\": {SIM_PID}, \"tid\": {tid}{bp}}}",
+                    base + id.0,
+                ));
+            }
+        }
+    }
+
     /// Adds host-time profiler intervals as complete (`"X"`) events, one
     /// track per profiled thread.
     pub fn add_host_spans(&mut self, spans: &[SpanEvent]) {
@@ -156,8 +206,12 @@ impl ChromeTrace {
 }
 
 /// Schema-checks a rendered trace document: well-formed JSON, a
-/// `traceEvents` array, and per-event field requirements (`ph`/`name`
-/// strings, numeric `ts`/`pid`/`tid`, `dur` on complete events).
+/// `traceEvents` array, per-event field requirements (`ph`/`name`
+/// strings, numeric `ts`/`pid`/`tid`, `dur` on complete events), and
+/// flow-event well-formedness — every `"s"` start has a matching `"f"`
+/// end with the same binding id, no step/end appears for a flow that was
+/// never started, and every flow event binds to an enclosing `"X"` slice
+/// on the same track.
 ///
 /// This is the gate `bench_smoke.sh` runs (through the `obs_check`
 /// binary) against `reproduce --obs` output.
@@ -175,6 +229,11 @@ pub fn validate(doc: &str) -> Result<(), String> {
     if events.is_empty() {
         return Err("traceEvents is empty".into());
     }
+    // (pid, tid, ts, dur) of every complete slice — the binding targets
+    // flow events are checked against.
+    let mut slices: Vec<(u64, u64, f64, f64)> = Vec::new();
+    // (index, ph, id, pid, tid, ts) of every flow event.
+    let mut flow_events: Vec<(usize, char, u64, u64, u64, f64)> = Vec::new();
     for (i, e) in events.iter().enumerate() {
         let ctx = |msg: &str| format!("event {i}: {msg}");
         let ph = e
@@ -184,22 +243,39 @@ pub fn validate(doc: &str) -> Result<(), String> {
         e.get("name")
             .and_then(Value::as_str)
             .ok_or_else(|| ctx("missing string name"))?;
-        for field in ["pid", "tid"] {
-            e.get(field)
+        let mut ids = [0u64; 2];
+        for (slot, field) in ids.iter_mut().zip(["pid", "tid"]) {
+            *slot = e
+                .get(field)
                 .and_then(Value::as_u64)
                 .ok_or_else(|| ctx(&format!("missing integer {field}")))?;
         }
+        let [pid, tid] = ids;
         match ph {
             "M" => {}
             "i" | "I" | "X" | "B" | "E" => {
-                e.get("ts")
+                let ts = e
+                    .get("ts")
                     .and_then(Value::as_f64)
                     .ok_or_else(|| ctx("missing numeric ts"))?;
                 if ph == "X" {
-                    e.get("dur")
+                    let dur = e
+                        .get("dur")
                         .and_then(Value::as_f64)
                         .ok_or_else(|| ctx("missing numeric dur on X event"))?;
+                    slices.push((pid, tid, ts, dur));
                 }
+            }
+            "s" | "t" | "f" => {
+                let ts = e
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| ctx("missing numeric ts"))?;
+                let id = e
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ctx("missing integer id on flow event"))?;
+                flow_events.push((i, ph.chars().next().unwrap(), id, pid, tid, ts));
             }
             "C" => {
                 e.get("ts")
@@ -219,6 +295,36 @@ pub fn validate(doc: &str) -> Result<(), String> {
                 }
             }
             other => return Err(ctx(&format!("unsupported phase {other:?}"))),
+        }
+    }
+    // Flow well-formedness: matched start/end ids, slice-bound events.
+    let starts: Vec<u64> = flow_events
+        .iter()
+        .filter(|f| f.1 == 's')
+        .map(|f| f.2)
+        .collect();
+    for &(i, ph, id, pid, tid, ts) in &flow_events {
+        match ph {
+            's' => {
+                if !flow_events.iter().any(|f| f.1 == 'f' && f.2 == id) {
+                    return Err(format!("event {i}: flow {id} starts but never finishes"));
+                }
+            }
+            _ => {
+                if !starts.contains(&id) {
+                    return Err(format!(
+                        "event {i}: flow {id} has a {ph:?} event but no start"
+                    ));
+                }
+            }
+        }
+        let bound = slices
+            .iter()
+            .any(|&(p, t, s_ts, dur)| p == pid && t == tid && s_ts <= ts && ts <= s_ts + dur);
+        if !bound {
+            return Err(format!(
+                "event {i}: flow {id} {ph:?} event binds to no slice on pid {pid} tid {tid}"
+            ));
         }
     }
     Ok(())
@@ -338,6 +444,81 @@ mod tests {
             "{\"traceEvents\": [{\"ph\": \"C\", \"name\": \"p\", \"ts\": 1, \"pid\": 1, \"tid\": 0, \"args\": {\"a\": 2.5}}]}"
         )
         .is_ok());
+    }
+
+    #[test]
+    fn flow_events_render_bound_arrow_chains() {
+        use pels_sim::ComponentId;
+        let spi = ComponentId::intern("chrome-test-flow-spi");
+        let link = ComponentId::intern("chrome-test-flow-link");
+        let mut flows = FlowTrace::default();
+        flows.raise(SimTime::from_ns(10), spi, 1, "eot");
+        flows.cycle_end();
+        assert!(flows.adopt_wire(SimTime::from_ns(20), link, 1, "trigger"));
+        let mut ct = ChromeTrace::new();
+        ct.add_flow_events(&flows);
+        let doc = ct.finish();
+        validate(&doc).expect("valid document");
+        // One "s" and one "f" with the same binding id, each with an
+        // anchor slice.
+        let v = json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let of_ph = |ph: &str| -> Vec<&Value> {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph))
+                .collect()
+        };
+        let (starts, ends, slices) = (of_ph("s"), of_ph("f"), of_ph("X"));
+        assert_eq!(starts.len(), 1);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(slices.len(), 2);
+        assert_eq!(
+            starts[0].get("id").and_then(Value::as_u64),
+            ends[0].get("id").and_then(Value::as_u64)
+        );
+        assert!(doc.contains("chrome-test-flow-spi.eot"));
+        assert!(doc.contains("chrome-test-flow-link.trigger"));
+        // Single-hop flows draw no arrow.
+        let mut lone = FlowTrace::default();
+        lone.raise(SimTime::ZERO, spi, 2, "compare");
+        let mut ct = ChromeTrace::new();
+        ct.add_flow_events(&lone);
+        assert!(!ct.finish().contains("\"ph\": \"s\""));
+    }
+
+    #[test]
+    fn validate_gates_flow_events() {
+        let slice = "{\"ph\": \"X\", \"name\": \"a\", \"ts\": 1, \"dur\": 1, \"pid\": 1, \"tid\": 1}";
+        // A started flow must finish.
+        assert!(validate(&format!(
+            "{{\"traceEvents\": [{slice}, {{\"ph\": \"s\", \"name\": \"flow\", \"id\": 7, \"ts\": 1, \"pid\": 1, \"tid\": 1}}]}}"
+        ))
+        .is_err());
+        // A step without a start is rejected.
+        assert!(validate(&format!(
+            "{{\"traceEvents\": [{slice}, {{\"ph\": \"t\", \"name\": \"flow\", \"id\": 7, \"ts\": 1, \"pid\": 1, \"tid\": 1}}]}}"
+        ))
+        .is_err());
+        // A flow event off any slice is rejected.
+        assert!(validate(
+            "{\"traceEvents\": [{\"ph\": \"s\", \"name\": \"flow\", \"id\": 7, \"ts\": 1, \"pid\": 1, \"tid\": 1}, \
+             {\"ph\": \"f\", \"name\": \"flow\", \"id\": 7, \"bp\": \"e\", \"ts\": 2, \"pid\": 1, \"tid\": 1}]}"
+        )
+        .is_err());
+        // Matched, slice-bound start/end validates.
+        assert!(validate(&format!(
+            "{{\"traceEvents\": [{slice}, \
+             {{\"ph\": \"X\", \"name\": \"b\", \"ts\": 2, \"dur\": 1, \"pid\": 1, \"tid\": 1}}, \
+             {{\"ph\": \"s\", \"name\": \"flow\", \"id\": 7, \"ts\": 1, \"pid\": 1, \"tid\": 1}}, \
+             {{\"ph\": \"f\", \"name\": \"flow\", \"id\": 7, \"bp\": \"e\", \"ts\": 2, \"pid\": 1, \"tid\": 1}}]}}"
+        ))
+        .is_ok());
+        // A flow event without an id is rejected.
+        assert!(validate(&format!(
+            "{{\"traceEvents\": [{slice}, {{\"ph\": \"s\", \"name\": \"flow\", \"ts\": 1, \"pid\": 1, \"tid\": 1}}]}}"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * [`chrome`] — serializes the simulated-time [`pels_sim::Trace`] and
 //!   the host-time span intervals to Chrome trace-event JSON, loadable
 //!   in Perfetto / `chrome://tracing`.
+//! * [`flow`] — per-stage latency attribution over the causal
+//!   [`pels_sim::FlowTrace`]: a mergeable [`FlowReport`] whose per-stage
+//!   cycle sums telescope to exactly the end-to-end latencies — the
+//!   "where do the cycles go?" blame table behind `OBS_flows.json`.
 //! * [`hist`] — a mergeable log-bucketed [`Histogram`] (exact buckets
 //!   below 64, 16 sub-buckets per octave above, so quantiles carry a
 //!   ≤ 1/16 relative-error bound) plus the [`hist::sparkline`] render —
@@ -49,12 +53,14 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flow;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 
 pub use chrome::ChromeTrace;
+pub use flow::{FlowReport, StageRow};
 pub use hist::Histogram;
 pub use metrics::{MetricKey, MetricsRegistry, MetricsSnapshot};
 pub use profile::{ProfileReport, SpanEvent, SpanGuard, SpanStats};

@@ -144,6 +144,14 @@ impl Peripheral for Adc {
     fn tick(&mut self, ctx: &mut PeriphCtx<'_>) {
         if ctx.wired_high(self.start_line) {
             self.start();
+            if ctx.trace.flows_enabled() {
+                // Conversion started by a wire edge: adopt its flow (or
+                // clear a stale one if the wire carried none).
+                ctx.trace.flow_begin(ctx.time, self.id, 0, "start");
+                if let Some(line) = self.start_line {
+                    ctx.trace.flow_adopt_wire(ctx.time, self.id, line, "start");
+                }
+            }
         }
         if !self.is_busy() {
             return;
@@ -156,6 +164,8 @@ impl Peripheral for Adc {
             self.conversions += 1;
             if let Some(line) = self.done_line {
                 ctx.raise(line, self.id, "done");
+                // Conversion complete: next `done` originates fresh.
+                ctx.trace.flow_begin(ctx.time, self.id, 0, "done");
             }
         }
     }

@@ -188,6 +188,24 @@ impl Peripheral for Gpio {
             ctx.activity.record(self.id, ActivityKind::ActiveCycle, 1);
             ctx.trace
                 .record(ctx.time, self.id, "padout", u64::from(self.out));
+            if ctx.trace.flows_enabled() {
+                // Attribute the pad change: a wired instant action carries
+                // its flow on the event wire; a sequenced/IRQ register
+                // write stages it as a fabric write commit. Neither means
+                // the cause is untracked — clear the context so a later
+                // `pin_rise` cannot inherit a stale flow.
+                let wired = [self.set_action, self.clear_action, self.toggle_action]
+                    .iter()
+                    .flatten()
+                    .map(|(l, _)| *l)
+                    .any(|l| {
+                        ctx.events_in.is_set(l)
+                            && ctx.trace.flow_adopt_wire(ctx.time, self.id, l, "padout")
+                    });
+                if !wired && !ctx.trace.flow_take_reg_write(ctx.time, self.id, "padout") {
+                    ctx.trace.flow_begin(ctx.time, self.id, 0, "padout");
+                }
+            }
             if let Some((pin, event_line)) = self.watch {
                 let rose = changed & self.out & (1 << pin) != 0;
                 if rose {

@@ -261,6 +261,15 @@ impl Peripheral for Spi {
             self.start(self.last_len);
             ctx.trace
                 .record(ctx.time, self.id, "start", u64::from(self.last_len));
+            if ctx.trace.flows_enabled() {
+                // Adopt the flow carried by the start wire (a timer
+                // compare, a PELS action, …); if the wire carried none,
+                // clear any stale context from a previous transfer.
+                ctx.trace.flow_begin(ctx.time, self.id, 0, "start");
+                if let Some(line) = self.start_line {
+                    ctx.trace.flow_adopt_wire(ctx.time, self.id, line, "start");
+                }
+            }
         }
         if !self.is_busy() {
             return;
@@ -289,6 +298,10 @@ impl Peripheral for Spi {
         if self.words_remaining == 0 {
             if let Some(line) = self.eot_line {
                 ctx.raise(line, self.id, "eot");
+                // End of this causal event: drop the context so the next
+                // transfer's eot originates a fresh flow (continuous µDMA
+                // mode restarts without a wire edge).
+                ctx.trace.flow_begin(ctx.time, self.id, 0, "eot");
             }
         }
     }

@@ -44,6 +44,10 @@ impl<'a> PeriphCtx<'a> {
     pub fn raise(&mut self, line: u32, source: ComponentId, label: &'static str) {
         self.events_out.set(line);
         self.trace.record(self.time, source, label, u64::from(line));
+        // Causal flow: propagate the peripheral's adopted context, or mint
+        // a fresh flow if it has none (this raise *is* the originating
+        // stimulus). One branch when flows are off.
+        self.trace.flow_raise(self.time, source, line, label);
         self.activity
             .record(source, pels_sim::ActivityKind::EventPulse, 1);
     }

@@ -57,6 +57,7 @@ pub mod component;
 pub mod error;
 pub mod events;
 pub mod fifo;
+pub mod flow;
 pub mod intern;
 pub mod rng;
 pub mod scheduler;
@@ -71,6 +72,7 @@ pub use component::{Component, TickPhase};
 pub use error::SimError;
 pub use events::EventVector;
 pub use fifo::Fifo;
+pub use flow::{FlowHop, FlowId, FlowTrace, FLOW_STAGES};
 pub use intern::ComponentId;
 pub use rng::Rng;
 pub use scheduler::{Edge, Scheduler};

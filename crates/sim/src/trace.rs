@@ -11,6 +11,7 @@
 //! a small `Copy` struct. The string-keyed query helpers resolve names
 //! through the interning registry.
 
+use crate::flow::FlowTrace;
 use crate::intern::ComponentId;
 use crate::time::SimTime;
 use std::fmt;
@@ -64,6 +65,9 @@ impl fmt::Display for TraceEntry {
 pub struct Trace {
     entries: Vec<TraceEntry>,
     enabled: bool,
+    /// Causal flow layer; `None` (the default) keeps every flow
+    /// observation point in the models down to a single branch.
+    flows: Option<Box<FlowTrace>>,
 }
 
 impl Trace {
@@ -72,6 +76,7 @@ impl Trace {
         Trace {
             entries: Vec::new(),
             enabled: true,
+            flows: None,
         }
     }
 
@@ -81,6 +86,7 @@ impl Trace {
         Trace {
             entries: Vec::new(),
             enabled: false,
+            flows: None,
         }
     }
 
@@ -196,6 +202,156 @@ impl Trace {
     /// Clears all entries.
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Causal flow layer (crate::flow). Every wrapper is a single branch
+    // on the `Option` when flows are off — the pure-observation contract.
+    // ------------------------------------------------------------------
+
+    /// Turns on causal flow tracing (off by default).
+    pub fn enable_flows(&mut self) {
+        if self.flows.is_none() {
+            self.flows = Some(Box::default());
+        }
+    }
+
+    /// Whether causal flow tracing is active.
+    #[inline]
+    pub fn flows_enabled(&self) -> bool {
+        self.flows.is_some()
+    }
+
+    /// The recorded flow layer, if enabled.
+    pub fn flow_trace(&self) -> Option<&FlowTrace> {
+        self.flows.as_deref()
+    }
+
+    /// Removes and returns the flow layer (disabling further flow
+    /// recording).
+    pub fn take_flow_trace(&mut self) -> Option<FlowTrace> {
+        self.flows.take().map(|b| *b)
+    }
+
+    /// See [`FlowTrace::raise`].
+    #[inline]
+    pub fn flow_raise(
+        &mut self,
+        time: SimTime,
+        source: ComponentId,
+        line: u32,
+        stage: &'static str,
+    ) {
+        if let Some(f) = &mut self.flows {
+            f.raise(time, source, line, stage);
+        }
+    }
+
+    /// See [`FlowTrace::adopt_wire`].
+    #[inline]
+    pub fn flow_adopt_wire(
+        &mut self,
+        time: SimTime,
+        source: ComponentId,
+        line: u32,
+        stage: &'static str,
+    ) -> bool {
+        match &mut self.flows {
+            Some(f) => f.adopt_wire(time, source, line, stage),
+            None => false,
+        }
+    }
+
+    /// See [`FlowTrace::flow_on_lines`].
+    #[inline]
+    pub fn flow_on_lines(&self, bits: u64) -> u64 {
+        match &self.flows {
+            Some(f) => f.flow_on_lines(bits),
+            None => 0,
+        }
+    }
+
+    /// See [`FlowTrace::begin`].
+    #[inline]
+    pub fn flow_begin(
+        &mut self,
+        time: SimTime,
+        source: ComponentId,
+        flow: u64,
+        stage: &'static str,
+    ) {
+        if let Some(f) = &mut self.flows {
+            f.begin(time, source, flow, stage);
+        }
+    }
+
+    /// See [`FlowTrace::hop`].
+    #[inline]
+    pub fn flow_hop(&mut self, time: SimTime, source: ComponentId, stage: &'static str) {
+        if let Some(f) = &mut self.flows {
+            f.hop(time, source, stage);
+        }
+    }
+
+    /// See [`FlowTrace::hop_with`].
+    #[inline]
+    pub fn flow_hop_with(
+        &mut self,
+        time: SimTime,
+        source: ComponentId,
+        flow: u64,
+        stage: &'static str,
+    ) {
+        if let Some(f) = &mut self.flows {
+            f.hop_with(time, source, flow, stage);
+        }
+    }
+
+    /// See [`FlowTrace::stage_lines`].
+    #[inline]
+    pub fn flow_stage_lines(&mut self, source: ComponentId, bits: u64) {
+        if let Some(f) = &mut self.flows {
+            f.stage_lines(source, bits);
+        }
+    }
+
+    /// See [`FlowTrace::stage_reg_write`].
+    #[inline]
+    pub fn flow_stage_reg_write(&mut self, slave: ComponentId, flow: u64) {
+        if let Some(f) = &mut self.flows {
+            f.stage_reg_write(slave, flow);
+        }
+    }
+
+    /// See [`FlowTrace::take_reg_write`].
+    #[inline]
+    pub fn flow_take_reg_write(
+        &mut self,
+        time: SimTime,
+        slave: ComponentId,
+        stage: &'static str,
+    ) -> bool {
+        match &mut self.flows {
+            Some(f) => f.take_reg_write(time, slave, stage),
+            None => false,
+        }
+    }
+
+    /// See [`FlowTrace::component`].
+    #[inline]
+    pub fn flow_component(&self, source: ComponentId) -> u64 {
+        match &self.flows {
+            Some(f) => f.component(source),
+            None => 0,
+        }
+    }
+
+    /// See [`FlowTrace::cycle_end`].
+    #[inline]
+    pub fn flow_cycle_end(&mut self) {
+        if let Some(f) = &mut self.flows {
+            f.cycle_end();
+        }
     }
 }
 

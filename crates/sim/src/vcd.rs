@@ -6,6 +6,7 @@
 //! and vector signals is implemented; no external dependency required.
 
 use crate::error::SimError;
+use crate::flow::FlowTrace;
 use crate::intern::ComponentId;
 use crate::time::SimTime;
 use crate::trace::Trace;
@@ -147,30 +148,50 @@ impl VcdWriter {
     }
 }
 
-/// Renders `trace` as a VCD document of 1-bit pulse signals — one signal
-/// per distinct `source.label` track, driven to 1 at each event's
-/// timestamp and back to 0 one picosecond later, so every event shows as
-/// a narrow pulse in GTKWave & co.
+/// Width of the flow-id vector signals emitted by [`trace_to_vcd`].
+const FLOW_ID_BITS: u32 = 16;
+
+/// Renders `trace` (and optionally the causal `flows` recorded alongside
+/// it) as a VCD document:
 ///
-/// Signals are declared in order of first occurrence, and simultaneous
-/// edges keep their trace order (stable sort), so the document is
-/// byte-identical across runs for a deterministic trace.
+/// * one 1-bit pulse signal per distinct `source.label` track, driven to
+///   1 at each event's timestamp and back to 0 one picosecond later, so
+///   every event shows as a narrow pulse in GTKWave & co.;
+/// * with `flows`, one 16-bit `<channel>.flow` signal per PELS channel
+///   (hop sources named `pels.*`) and one 16-bit `flow.<stage>` signal
+///   per typed flow stage, each pulsing the [`crate::FlowId`] at every
+///   hop — reading a stage track left to right shows which flow crossed
+///   it when, and a channel track shows which flow the channel carried.
+///
+/// Signals are declared in order of first occurrence (trace tracks
+/// first, then flow tracks), and simultaneous edges keep their record
+/// order (stable sort), so the document is byte-identical across runs
+/// for a deterministic trace.
 ///
 /// ```
 /// use pels_sim::vcd::trace_to_vcd;
-/// use pels_sim::{SimTime, Trace};
+/// use pels_sim::{ComponentId, FlowTrace, SimTime, Trace};
 /// let mut t = Trace::new();
 /// t.record_named(SimTime::from_ns(10), "spi", "eot", 0);
 /// t.record_named(SimTime::from_ns(80), "gpio", "set", 1);
-/// let doc = trace_to_vcd(&t, "pels");
+/// let doc = trace_to_vcd(&t, None, "pels");
 /// assert!(doc.contains("$var wire 1 ! spi.eot $end"));
 /// assert!(doc.contains("#10000\n1!")); // pulse up at the event time...
 /// assert!(doc.contains("#10001\n0!")); // ...and back down 1 ps later
+///
+/// let mut flows = FlowTrace::default();
+/// flows.raise(SimTime::from_ns(10), ComponentId::intern("pels.link0"), 1, "trigger");
+/// let doc = trace_to_vcd(&t, Some(&flows), "pels");
+/// assert!(doc.contains("$var wire 16 # pels.link0.flow $end"));
+/// assert!(doc.contains("$var wire 16 $ flow.trigger $end"));
+/// assert!(doc.contains("b1 #")); // the hop pulses the flow id
 /// ```
-pub fn trace_to_vcd(trace: &Trace, module: &str) -> String {
+pub fn trace_to_vcd(trace: &Trace, flows: Option<&FlowTrace>, module: &str) -> String {
     let mut vcd = VcdWriter::new(module);
     let mut ids: HashMap<(ComponentId, &'static str), SignalId> = HashMap::new();
-    let mut changes: Vec<(SimTime, SignalId, u64)> = Vec::with_capacity(trace.len() * 2);
+    let hop_count = flows.map_or(0, FlowTrace::len);
+    let mut changes: Vec<(SimTime, SignalId, u64)> =
+        Vec::with_capacity((trace.len() + 2 * hop_count) * 2);
     for e in trace.entries() {
         let sig = *ids
             .entry((e.source, e.label))
@@ -178,8 +199,26 @@ pub fn trace_to_vcd(trace: &Trace, module: &str) -> String {
         changes.push((e.time, sig, 1));
         changes.push((SimTime::from_ps(e.time.as_ps() + 1), sig, 0));
     }
+    if let Some(flows) = flows {
+        let mut channels: HashMap<ComponentId, SignalId> = HashMap::new();
+        let mut stages: HashMap<&'static str, SignalId> = HashMap::new();
+        for h in flows.hops() {
+            let mut pulse = |sig: SignalId| {
+                changes.push((h.time, sig, h.flow.0));
+                changes.push((SimTime::from_ps(h.time.as_ps() + 1), sig, 0));
+            };
+            if h.source_name().starts_with("pels.") {
+                pulse(*channels.entry(h.source).or_insert_with(|| {
+                    vcd.add_signal(format!("{}.flow", h.source_name()), FLOW_ID_BITS)
+                }));
+            }
+            pulse(*stages.entry(h.stage).or_insert_with(|| {
+                vcd.add_signal(format!("flow.{}", h.stage), FLOW_ID_BITS)
+            }));
+        }
+    }
     // Falling edges interleave with later events; VCD timestamps must be
-    // monotone. The sort is stable, so same-time edges keep trace order.
+    // monotone. The sort is stable, so same-time edges keep record order.
     changes.sort_by_key(|&(t, _, _)| t);
     for (t, sig, v) in changes {
         vcd.change(t, sig, v);
@@ -257,7 +296,7 @@ mod tests {
         t.record_named(SimTime::from_ps(5), "vcd-test-a", "hit", 0);
         t.record_named(SimTime::from_ps(5), "vcd-test-b", "hit", 0);
         t.record_named(SimTime::from_ps(40), "vcd-test-a", "hit", 1);
-        let doc = trace_to_vcd(&t, "bridge");
+        let doc = trace_to_vcd(&t, None, "bridge");
         assert!(doc.contains("$var wire 1 ! vcd-test-a.hit $end"));
         assert!(doc.contains("$var wire 1 \" vcd-test-b.hit $end"));
         // Both tracks pulse inside the same #5 block, trace order kept.
@@ -273,8 +312,35 @@ mod tests {
     }
 
     #[test]
+    fn trace_bridge_emits_channel_and_stage_flow_tracks() {
+        let link = ComponentId::intern("pels.vcd-test-link");
+        let gpio = ComponentId::intern("vcd-test-gpio");
+        let mut t = Trace::new();
+        t.record(SimTime::from_ps(10), link, "trigger", 0);
+        let mut flows = FlowTrace::default();
+        flows.raise(SimTime::from_ps(10), link, 1, "trigger");
+        flows.cycle_end();
+        assert!(flows.adopt_wire(SimTime::from_ps(20), gpio, 1, "padout"));
+        flows.raise(SimTime::from_ps(30), link, 2, "trigger");
+        let doc = trace_to_vcd(&t, Some(&flows), "m");
+        // One channel track for the PELS source (but none for the GPIO),
+        // one stage track per distinct typed stage.
+        assert_eq!(doc.matches("$var wire 16").count(), 3);
+        assert!(doc.contains("pels.vcd-test-link.flow"));
+        assert!(doc.contains("flow.trigger"));
+        assert!(doc.contains("flow.padout"));
+        assert!(!doc.contains("vcd-test-gpio.flow"));
+        // Each hop pulses the flow id on its tracks: id 1 then id 2 on
+        // the channel + trigger-stage pair, id 1 on the padout stage.
+        assert_eq!(doc.matches("b1 ").count(), 3);
+        assert_eq!(doc.matches("b10 ").count(), 2);
+        // Flow-off rendering is unchanged.
+        assert!(!trace_to_vcd(&t, None, "m").contains("$var wire 16"));
+    }
+
+    #[test]
     fn trace_bridge_on_an_empty_trace_is_just_a_header() {
-        let doc = trace_to_vcd(&Trace::new(), "empty");
+        let doc = trace_to_vcd(&Trace::new(), None, "empty");
         assert!(doc.contains("$enddefinitions"));
         assert!(!doc.contains('#'));
     }

@@ -112,7 +112,7 @@ fn activity_export_order_is_stable_across_recording_order() {
 #[test]
 fn vcd_bridge_declares_one_signal_per_track() {
     let t = sample_trace();
-    let doc = trace_to_vcd(&t, "ta");
+    let doc = trace_to_vcd(&t, None, "ta");
     assert_eq!(doc.matches("$var wire 1").count(), 2, "spi.eot + gpio.set");
     assert!(doc.contains("ta-spi.eot"));
     assert!(doc.contains("ta-gpio.set"));

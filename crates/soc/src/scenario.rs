@@ -362,6 +362,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Records causal event flows during the active run (see
+    /// [`ScenarioDesc::flows`]). Pure observation, like [`Self::obs`]:
+    /// `tests/flow_invariance.rs` proves the run is bit-identical with
+    /// flows on and off.
+    pub fn flows(mut self, flows: bool) -> Self {
+        self.draft.flows = flows;
+        self
+    }
+
     /// Validates and produces the scenario
     /// (= [`Scenario::from_desc`] on the accumulated draft).
     ///
@@ -519,6 +528,9 @@ impl Scenario {
     /// the system manually.
     pub fn build_soc(&self) -> Soc {
         let mut soc = SocBuilder::from_desc(self.system.clone()).build();
+        if self.flows {
+            soc.enable_flows();
+        }
 
         match self.mediator {
             Mediator::PelsSequenced | Mediator::PelsInstant => {
@@ -660,6 +672,10 @@ impl Scenario {
             latency_hist.record(l);
         }
         let events_completed = soc.trace().all(marker.0, marker.1).len() as u32;
+        // Detach the flow record before cloning the trace into the
+        // report: flows are an analysis artifact, not part of the
+        // architectural trace the differential suites compare.
+        let flows = soc.trace_mut().take_flow_trace();
 
         // Idle window: identical configuration, timer disarmed, same
         // number of cycles.
@@ -689,6 +705,7 @@ impl Scenario {
             decode_cache_hits,
             decode_cache_misses,
             metrics,
+            flows,
         })
     }
 
@@ -747,6 +764,10 @@ pub struct ScenarioReport {
     /// Full metrics snapshot of the active run — `Some` only when the
     /// scenario was built with [`ScenarioBuilder::obs`].
     pub metrics: Option<pels_obs::MetricsSnapshot>,
+    /// Causal event-flow record of the active run — `Some` only when the
+    /// scenario was built with [`ScenarioBuilder::flows`]. Analyze it
+    /// with [`ScenarioReport::flow_report`].
+    pub flows: Option<pels_sim::FlowTrace>,
 }
 
 impl ScenarioReport {
@@ -778,6 +799,27 @@ impl ScenarioReport {
     /// check).
     pub fn mean_latency_time(&self) -> SimTime {
         SimTime::from_ps(self.stats.mean * self.freq.period_ps())
+    }
+
+    /// Per-stage latency attribution over the recorded flows — `Some`
+    /// only when the scenario ran with [`ScenarioBuilder::flows`].
+    ///
+    /// The report decomposes the same eot→actuation segment
+    /// [`LinkingStats`] measures, so its per-stage cycle sums telescope
+    /// to exactly the end-to-end latencies
+    /// (`tests/flow_properties.rs`).
+    pub fn flow_report(&self) -> Option<pels_obs::FlowReport> {
+        let flows = self.flows.as_ref()?;
+        let terminal = match self.mediator {
+            Mediator::PelsInstant => "action",
+            _ => "padout",
+        };
+        Some(pels_obs::FlowReport::from_flows(
+            flows,
+            self.freq.period_ps(),
+            "eot",
+            terminal,
+        ))
     }
 
     /// Serializes the report to a machine-readable JSON object.

@@ -343,6 +343,7 @@ impl SocBuilder {
                 (EV_ADC_DONE, irq_bit_for_event(EV_ADC_DONE)),
                 (EV_WDT_BITE, irq_bit_for_event(EV_WDT_BITE)),
             ],
+            irq_flow: [0; 32],
             gpio_id,
             timer_id,
             spi_id,
@@ -554,6 +555,9 @@ pub struct Soc {
     /// Edge-latched interrupt pending bits (cleared on CPU claim).
     irq_pending: u32,
     irq_map: Vec<(u32, u32)>,
+    /// Causal flow latched alongside each `irq_pending` bit (flow layer
+    /// only; all zeros when flows are off).
+    irq_flow: [u64; 32],
     gpio_id: SlaveId,
     timer_id: SlaveId,
     spi_id: SlaveId,
@@ -630,6 +634,11 @@ struct CpuPort<'a> {
     pels: &'a mut Pels,
     pels_id: ComponentId,
     activity: &'a mut ActivitySet,
+    trace: &'a mut Trace,
+    /// Time of the cycle this port was built for (handler load/store flow
+    /// hops; exact — `run_block` never issues data accesses).
+    time: SimTime,
+    cpu_id: ComponentId,
 }
 
 impl CpuBus for CpuPort<'_> {
@@ -710,7 +719,16 @@ impl CpuBus for CpuPort<'_> {
                 ApbRequest::read(addr)
             };
             match self.fabric.issue(self.master, request) {
-                Ok(()) => DataResult::Pending,
+                Ok(()) => {
+                    // One APB data access per handler load/store: issued
+                    // exactly once per transaction (later cycles poll).
+                    self.trace.flow_hop(
+                        self.time,
+                        self.cpu_id,
+                        if req.write { "handler_store" } else { "handler_load" },
+                    );
+                    DataResult::Pending
+                }
                 Err(_) => DataResult::Fault,
             }
         } else {
@@ -974,6 +992,17 @@ impl Soc {
         // can wake sleepers and change the wire image).
         self.invalidate_sprint_token();
         self.injected.set(line);
+        // An injected pulse is an originating stimulus: mint its flow and
+        // stage it on the wire the consuming step will sample.
+        self.trace
+            .flow_raise(self.time(), self.clock_ids.soc_ctrl, line, "inject");
+    }
+
+    /// Turns on causal event-flow tracing (see `pels_sim::flow`). Off by
+    /// default; enabling is a pure-observation switch — the differential
+    /// `flow_invariance` suite proves runs are bit-identical either way.
+    pub fn enable_flows(&mut self) {
+        self.trace.enable_flows();
     }
 
     /// Selects the reference scheduler: every peripheral ticks every
@@ -1156,7 +1185,16 @@ impl Soc {
         // 3. CPU with edge-latched interrupt lines.
         for &(line, bit) in &self.irq_map {
             if pulses.is_set(line) {
+                let newly = self.irq_pending & (1 << bit) == 0;
                 self.irq_pending |= 1 << bit;
+                if newly && self.trace.flows_enabled() {
+                    // Latch the wire's flow alongside the pending bit so
+                    // the eventual handler entry inherits it.
+                    let flow = self.trace.flow_on_lines(1u64 << line);
+                    self.irq_flow[bit as usize] = flow;
+                    self.trace
+                        .flow_hop_with(time, self.clock_ids.ibex, flow, "irq_pend");
+                }
             }
         }
         {
@@ -1167,15 +1205,34 @@ impl Soc {
                 pels: &mut self.pels,
                 pels_id: self.clock_ids.pels,
                 activity: &mut self.activity,
+                trace: &mut self.trace,
+                time,
+                cpu_id: self.clock_ids.ibex,
             };
             self.cpu.tick(&mut bus, self.irq_pending);
         }
         if let Some(line) = self.cpu.take_irq_ack() {
             self.irq_pending &= !(1u32 << line);
+            if self.trace.flows_enabled() {
+                let flow = std::mem::take(&mut self.irq_flow[line as usize]);
+                self.trace
+                    .flow_begin(time, self.clock_ids.ibex, flow, "irq_enter");
+            }
         }
 
         // 4. Fabric APB phases.
         self.fabric.tick();
+        if self.trace.flows_enabled() {
+            self.stage_write_commit_flows();
+            // Handler exit: `mret` retires inside the CPU; convert its
+            // core cycle (locked to the SoC cycle) to absolute time and
+            // close out the CPU's flow context.
+            if let Some(c) = self.cpu.take_mret() {
+                let t = SimTime::from_ps(self.freq.period_ps() * c);
+                self.trace.flow_hop(t, self.clock_ids.ibex, "mret");
+                self.trace.flow_begin(t, self.clock_ids.ibex, 0, "mret");
+            }
+        }
 
         // 4b. Sleep decisions, on post-bus state: a slave whose idle
         //     hint says the next n-1 ticks are unobservable sleeps with
@@ -1225,8 +1282,34 @@ impl Soc {
             self.cpu_awake_cycles += 1;
         }
         self.prev_wires = pulses | actions;
+        self.trace.flow_cycle_end();
         self.cycle += 1;
         self.window_cycles += 1;
+    }
+
+    /// Translates this cycle's fabric write commits into staged causal
+    /// flows keyed by the slave they hit: the CPU master carries the CPU's
+    /// adopted context (IRQ handler stores), each PELS master its link's
+    /// (sequenced RMW commands). Consumed by the slave's next tick — e.g.
+    /// GPIO pad-out attribution. Only called when flows are enabled.
+    fn stage_write_commit_flows(&mut self) {
+        for i in 0..self.fabric.write_commits().len() {
+            let (slave, master) = self.fabric.write_commits()[i];
+            let flow = if master == self.cpu_master.index() {
+                self.trace.flow_component(self.clock_ids.ibex)
+            } else {
+                self.pels_masters
+                    .iter()
+                    .position(|m| m.index() == master)
+                    .and_then(|link| self.clock_ids.links.get(link))
+                    .map(|&id| self.trace.flow_component(id))
+                    .unwrap_or(0)
+            };
+            if flow != 0 {
+                let id = self.fabric.slave_at(slave).component();
+                self.trace.flow_stage_reg_write(id, flow);
+            }
+        }
     }
 
     /// Attempts to advance up to `budget` cycles in one jump, possible
@@ -1353,6 +1436,7 @@ impl Soc {
             return 0;
         }
         let used = {
+            let time = self.time();
             let mut bus = CpuPort {
                 l2: &mut self.l2,
                 fabric: &mut self.fabric,
@@ -1360,6 +1444,9 @@ impl Soc {
                 pels: &mut self.pels,
                 pels_id: self.clock_ids.pels,
                 activity: &mut self.activity,
+                trace: &mut self.trace,
+                time,
+                cpu_id: self.clock_ids.ibex,
             };
             self.cpu.run_block(&mut bus, self.irq_pending, span)
         };

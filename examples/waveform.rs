@@ -1,15 +1,25 @@
-//! Dumps a VCD waveform of one linking event — the debugging workflow an
+//! Dumps VCD waveforms of one linking event — the debugging workflow an
 //! RTL engineer would use on the original SystemVerilog PELS, available
 //! here without any external tooling.
 //!
+//! Two documents are written:
+//!
+//! * `pels_linking.vcd` — hand-picked architectural state sampled every
+//!   cycle (clock, SPI/link busy, SCM program counter, GPIO pad);
+//! * `pels_flows.vcd` — the architectural trace bridged through
+//!   [`pels_repro::sim::vcd::trace_to_vcd`] with causal flows on: one
+//!   pulse track per trace event, one 16-bit `<channel>.flow` track per
+//!   PELS channel and one `flow.<stage>` track per typed flow stage,
+//!   each pulsing the flow id as the event crosses it.
+//!
 //! ```text
-//! cargo run --example waveform      # writes pels_linking.vcd
-//! gtkwave pels_linking.vcd          # (on a machine with GTKWave)
+//! cargo run --example waveform      # writes both .vcd files
+//! gtkwave pels_flows.vcd            # (on a machine with GTKWave)
 //! ```
 
 use pels_repro::interconnect::ApbSlave;
 use pels_repro::periph::Timer;
-use pels_repro::sim::vcd::VcdWriter;
+use pels_repro::sim::vcd::{trace_to_vcd, VcdWriter};
 use pels_repro::soc::{Mediator, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The scenario builds its own SoC; we step it ourselves with a short
     // timer period so the linking event lands inside the capture window.
     let mut soc = scenario.build_soc();
+    soc.enable_flows();
     soc.timer_mut().write(Timer::CMP, 20)?;
     soc.timer_mut().write(Timer::CTRL, Timer::CTRL_ENABLE)?;
 
@@ -47,5 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.timer_period_cycles() + 20
     );
     println!("signals: clk, spi_busy, link0_busy, link0_pc, gpio_padout, event_lines");
+
+    // The same window through the causal flow lens: the trace's pulse
+    // tracks plus the per-channel / per-stage flow-id tracks.
+    let flows = soc.trace().flow_trace().expect("flows enabled above");
+    let flow_doc = trace_to_vcd(soc.trace(), Some(flows), "pels_soc");
+    std::fs::write("pels_flows.vcd", &flow_doc)?;
+    println!(
+        "wrote pels_flows.vcd ({} bytes): {} causal hops across {} flow(s)",
+        flow_doc.len(),
+        flows.len(),
+        flows.minted(),
+    );
     Ok(())
 }

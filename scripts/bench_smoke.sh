@@ -43,12 +43,26 @@ echo "bench_smoke: fused-tier differential suite OK"
 cargo bench -q -p pels-bench --bench fleet -- --sample-size 10
 echo "bench_smoke: fleet OK"
 
+# Causal flow gate: run (not just compile) the suites that prove flow
+# recording is pure observation (bit-identical runs with flows on/off
+# across every ExecMode, fleet digest invariant) and that the per-stage
+# attribution telescopes exactly to the measured per-event latencies
+# (paper probes decompose to 7/2/16 cycles, randomized scenarios sum
+# exactly, FlowReport merge is order-invariant).
+cargo test -q --test flow_invariance
+cargo test -q --test flow_properties
+echo "bench_smoke: causal flow differential + property suites OK"
+
 # Observability gate: regenerate the OBS artifacts with the profiler on,
 # then schema-check them — the reference counters (decode cache,
-# scheduler, fleet workers) must be present and nonzero, the Chrome
-# trace must be well-formed trace-event JSON with power counter tracks,
-# and the power timeline must have contiguous non-negative windows.
-# Drift in any exporter fails here instead of shipping broken artifacts.
+# scheduler, superblock/fusion tiers, fleet workers) must be present and
+# nonzero, the Chrome trace must be well-formed trace-event JSON with
+# power counter tracks and causal flow arrows (every "s" matched by an
+# "f", ids bound to enclosing slices), the power timeline must have
+# contiguous non-negative windows, and OBS_flows.json must carry
+# non-empty per-mediator flow reports with monotone hop times and
+# allowlisted stages. Drift in any exporter fails here instead of
+# shipping broken artifacts.
 cargo run -q --release -p pels-bench --bin reproduce -- sim_throughput --obs > /dev/null
 cargo run -q --release -p pels-bench --bin obs_check
 echo "bench_smoke: obs artifacts OK"

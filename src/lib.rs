@@ -9,6 +9,8 @@
 //! * [`pels_desc`] — validated, JSON-serializable system/scenario
 //!   descriptions (the canonical construction API);
 //! * [`pels_cpu`] — the Ibex-class RV32IMC baseline;
+//! * [`pels_obs`], [`pels_fleet`] — observability (metrics, flow
+//!   attribution, trace export) and the parallel sweep engine;
 //! * [`pels_periph`], [`pels_interconnect`], [`pels_sim`], [`pels_power`] —
 //!   substrates.
 
@@ -17,7 +19,9 @@
 pub use pels_core as core;
 pub use pels_cpu as cpu;
 pub use pels_desc as desc;
+pub use pels_fleet as fleet;
 pub use pels_interconnect as interconnect;
+pub use pels_obs as obs;
 pub use pels_periph as periph;
 pub use pels_power as power;
 pub use pels_sim as sim;
