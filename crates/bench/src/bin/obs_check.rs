@@ -10,14 +10,17 @@
 //! Chrome trace-event JSON that must include `"ph": "C"` power counter
 //! tracks and `"ph": "s"`/`"f"` causal flow arrows),
 //! `OBS_timeline.json` (at least one window, monotone contiguous
-//! window timestamps, non-negative per-component power) and
+//! window timestamps, non-negative per-component power),
 //! `OBS_flows.json` (per-mediator sections with complete flows, an
 //! exemplar hop chain with monotone timestamps, and every stage drawn
-//! from the [`pels_sim::FLOW_STAGES`] allowlist).
+//! from the [`pels_sim::FLOW_STAGES`] allowlist) and
+//! `BENCH_lifetime.json` (battery parameters, a positive PELS-vs-IRQ
+//! headline projection, non-empty sweep rows with positive mean draw
+//! and a 16-hex-digit fleet digest).
 //! `scripts/bench_smoke.sh` runs this after
-//! `reproduce -- sim_throughput --obs`, so any drift in the exporters
-//! fails the tier-1 verify pass instead of silently shipping broken
-//! artifacts.
+//! `reproduce -- sim_throughput lifetime --quick --obs`, so any drift
+//! in the exporters fails the tier-1 verify pass instead of silently
+//! shipping broken artifacts.
 
 use pels_obs::json::{self, Value};
 use std::process::ExitCode;
@@ -40,6 +43,31 @@ const NONZERO_KEYS: &[&str] = &[
     "fleet.jobs",
     "fleet.workers",
     "fleet.worker0.jobs",
+    "power.energy.total_nj",
+    "power.energy.span_us",
+    "power.energy.windows",
+    "power.energy.components",
+    "battery.days_milli",
+    "battery.mean_draw_nw",
+    "battery.usable_mj",
+    "battery.soc_points",
+];
+
+/// Every counter the energy ledger and battery projection publishers
+/// may emit, by exact name — the schema side of
+/// `EnergyLedger::metric_pairs` and `LifetimeReport::metric_pairs`. A
+/// `power.energy.`- or `battery.`-prefixed key not listed here fails
+/// the gate, same drift contract as [`KNOWN_CPU_SCHED_KEYS`].
+const KNOWN_ENERGY_KEYS: &[&str] = &[
+    "power.energy.total_nj",
+    "power.energy.floor_nj",
+    "power.energy.span_us",
+    "power.energy.windows",
+    "power.energy.components",
+    "battery.days_milli",
+    "battery.mean_draw_nw",
+    "battery.usable_mj",
+    "battery.soc_points",
 ];
 
 /// Every counter the CPU and scheduler publishers may emit, by exact
@@ -105,6 +133,15 @@ fn check_metrics(path: &str) -> Result<(), String> {
                  counter without updating KNOWN_CPU_SCHED_KEYS"
             ));
         }
+        if (key.starts_with("power.energy.") || key.starts_with("battery."))
+            && !KNOWN_ENERGY_KEYS.contains(&key.as_str())
+        {
+            return Err(format!(
+                "{path}: counter `{key}` is not in the published schema — \
+                 a producer renamed or added a `power.energy.`/`battery.` \
+                 counter without updating KNOWN_ENERGY_KEYS"
+            ));
+        }
     }
     for key in NONZERO_KEYS {
         match doc.get(key).and_then(Value::as_u64) {
@@ -163,6 +200,112 @@ fn check_trace(path: &str) -> Result<(), String> {
             "{path}: no `\"ph\": \"s\"` flow events — the causal flow \
              arrows are missing from the trace"
         ));
+    }
+    // The battery projection must have contributed its state-of-charge
+    // counter track alongside the power tracks.
+    let soc = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .map(|events| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(Value::as_str) == Some("C")
+                        && e.get("name")
+                            .and_then(Value::as_str)
+                            .is_some_and(|n| n.starts_with("battery_soc"))
+                })
+                .count()
+        })
+        .unwrap_or(0);
+    if soc == 0 {
+        return Err(format!(
+            "{path}: no `battery_soc` counter events — the state-of-charge \
+             track is missing from the trace"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates `BENCH_lifetime.json`: battery parameters, a positive
+/// finite PELS-vs-IRQ headline, non-empty sweep rows (each with a
+/// label, mediator, duty-cycle point, positive mean draw and a positive
+/// or null lifetime) and the 16-hex-digit fleet digest.
+fn check_lifetime(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if doc.get("schema_version").and_then(Value::as_u64) != Some(1) {
+        return Err(format!("{path}: missing `schema_version` 1"));
+    }
+    let battery = doc
+        .get("battery")
+        .ok_or_else(|| format!("{path}: missing `battery` object"))?;
+    for field in ["capacity_mah", "nominal_v", "rate_exponent", "cutoff_fraction"] {
+        let v = battery
+            .get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: missing numeric `battery.{field}`"))?;
+        if v <= 0.0 {
+            return Err(format!("{path}: `battery.{field}` = {v} is not positive"));
+        }
+    }
+    let headline = doc
+        .get("headline")
+        .ok_or_else(|| format!("{path}: missing `headline` object"))?;
+    for field in [
+        "sample_period_us",
+        "horizon_ms",
+        "pels_days",
+        "irq_days",
+        "lifetime_ratio",
+        "pels_mean_uw",
+        "irq_mean_uw",
+    ] {
+        let v = headline
+            .get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: missing numeric `headline.{field}`"))?;
+        if v <= 0.0 {
+            return Err(format!("{path}: `headline.{field}` = {v} is not positive"));
+        }
+    }
+    let sweep = doc
+        .get("sweep")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: missing `sweep` array"))?;
+    if sweep.is_empty() {
+        return Err(format!("{path}: sweep has no rows"));
+    }
+    for (i, row) in sweep.iter().enumerate() {
+        let ctx = |msg: &str| format!("{path}: sweep row {i}: {msg}");
+        for field in ["label", "mediator"] {
+            row.get(field)
+                .and_then(Value::as_str)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| ctx(&format!("missing non-empty string `{field}`")))?;
+        }
+        for field in ["sample_period_us", "spi_words", "mean_uw"] {
+            let v = row
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ctx(&format!("missing numeric `{field}`")))?;
+            if v <= 0.0 {
+                return Err(ctx(&format!("`{field}` = {v} is not positive")));
+            }
+        }
+        // `days` is null for a zero-draw projection, positive otherwise.
+        match row.get("days") {
+            Some(Value::Null) => {}
+            Some(v) if v.as_f64().is_some_and(|d| d > 0.0) => {}
+            _ => return Err(ctx("`days` must be positive or null")),
+        }
+    }
+    let digest = doc
+        .get("digest")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{path}: missing string `digest`"))?;
+    if digest.len() != 16 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("{path}: digest `{digest}` is not 16 hex digits"));
     }
     Ok(())
 }
@@ -313,11 +456,12 @@ fn check_timeline(path: &str) -> Result<(), String> {
 type Check = fn(&str) -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let checks: [(&str, Check); 4] = [
+    let checks: [(&str, Check); 5] = [
         ("OBS_metrics.json", check_metrics),
         ("OBS_trace.json", check_trace),
         ("OBS_timeline.json", check_timeline),
         ("OBS_flows.json", check_flows),
+        ("BENCH_lifetime.json", check_lifetime),
     ];
     let mut ok = true;
     for (path, check) in checks {

@@ -10,9 +10,15 @@
 //! writes `BENCH_sim_throughput.json` so the simulator's own speed is
 //! tracked across PRs), `fleet` (which runs a reference sweep on 1
 //! worker and on all available workers, checks the two reports are
-//! bit-identical, and writes `BENCH_fleet_throughput.json`), and `desc`
+//! bit-identical, and writes `BENCH_fleet_throughput.json`), `desc`
 //! (which regenerates the canonical system/scenario description corpus
-//! under `examples/descs/`, gated by the `desc_check` binary).
+//! under `examples/descs/`, gated by the `desc_check` binary), and
+//! `lifetime` (which duty-cycles a sensor node over hours of simulated
+//! time, projects coin-cell battery lifetime for PELS vs the interrupt
+//! baseline, sweeps duty cycle × sensor payload × mediator across a
+//! fleet, and writes `BENCH_lifetime.json` — schema-gated by
+//! `obs_check`). The `--quick` flag shrinks the `lifetime` horizon for
+//! smoke runs.
 //!
 //! The `--obs` flag (combinable with any artifact subset) enables the
 //! host-time span profiler for the whole run and appends an
@@ -30,6 +36,8 @@ use pels_bench::{ablations, experiments, sota, throughput};
 use pels_desc::{DescFuzzer, FuzzCase};
 use pels_fleet::{report as fleet_report, FleetEngine, SweepSpec};
 use pels_interconnect::{ArbiterKind, Topology};
+use pels_power::{Battery, EnergyLedger};
+use pels_sim::SimTime;
 use pels_soc::{Mediator, Scenario, ScenarioDesc, SensorKind, SystemDesc};
 use std::process::ExitCode;
 
@@ -45,6 +53,7 @@ const ALL: &[&str] = &[
     "sim_throughput",
     "fleet",
     "desc",
+    "lifetime",
 ];
 
 /// The reference 8-job sweep for the fleet artifact: 2 mediators × 2
@@ -86,6 +95,155 @@ fn run_fleet_artifact() -> Result<String, String> {
         parallel.workers,
         serial.wall.as_secs_f64() * 1e3,
         parallel.wall.as_secs_f64() * 1e3,
+    ))
+}
+
+/// Serializes the lifetime artifact as `BENCH_lifetime.json`: the
+/// battery parameters, the headline duty-cycled PELS-vs-IRQ projection
+/// and the per-job sweep rows. `obs_check` schema-gates this file.
+fn lifetime_to_json(
+    quick: bool,
+    battery: &Battery,
+    period: SimTime,
+    horizon: SimTime,
+    pels: &pels_power::LifetimeReport,
+    irq: &pels_power::LifetimeReport,
+    fleet: &pels_fleet::FleetReport,
+) -> String {
+    use std::fmt::Write as _;
+    let days = |r: &pels_power::LifetimeReport| {
+        if r.seconds.is_finite() {
+            r.days().to_string()
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(
+        s,
+        "  \"battery\": {{\"capacity_mah\": {}, \"nominal_v\": {}, \
+         \"rate_exponent\": {}, \"sleep_floor_uw\": {}, \"cutoff_fraction\": {}}},",
+        battery.capacity_mah,
+        battery.nominal_v,
+        battery.rate_exponent,
+        battery.sleep_floor_uw,
+        battery.cutoff_fraction,
+    );
+    let _ = writeln!(
+        s,
+        "  \"headline\": {{\"sample_period_us\": {}, \"horizon_ms\": {}, \
+         \"pels_days\": {}, \"irq_days\": {}, \"lifetime_ratio\": {}, \
+         \"pels_mean_uw\": {}, \"irq_mean_uw\": {}}},",
+        period.as_us_f64(),
+        horizon.as_us_f64() / 1e3,
+        days(pels),
+        days(irq),
+        pels.seconds / irq.seconds,
+        pels.mean_draw_uw,
+        irq.mean_draw_uw,
+    );
+    s.push_str("  \"sweep\": [");
+    let rows: Vec<_> = fleet.succeeded().collect();
+    for (i, (label, o)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let ledger = o.report.energy.as_ref().expect("lifetime(true) ledger");
+        let projection = o.report.lifetime.as_ref().expect("lifetime(true) projection");
+        let _ = write!(
+            s,
+            "\n    {{\"label\": \"{}\", \"mediator\": \"{}\", \
+             \"sample_period_us\": {}, \"spi_words\": {}, \"mean_uw\": {}, \"days\": {}}}{sep}",
+            pels_obs::json::escape(label),
+            o.scenario.desc().mediator,
+            o.scenario.desc().sample_period.as_us_f64(),
+            o.scenario.desc().spi_words,
+            ledger.mean_power().as_uw(),
+            days(projection),
+        );
+    }
+    s.push_str("\n  ],\n");
+    let _ = writeln!(s, "  \"digest\": \"{:016x}\"", fleet.digest());
+    s.push_str("}\n");
+    s
+}
+
+/// The `lifetime` artifact: how long does the node last on a coin cell?
+///
+/// Runs the duty-cycled preset (sleep → sense → burst every sample
+/// period) for PELS-sequenced mediation and the interrupt baseline over
+/// a long simulated horizon, projects both onto [`Battery::coin_cell`],
+/// then sweeps duty cycle (sample period) × sensor payload (SPI words)
+/// × mediator across a fleet with the energy ledger switched on.
+/// Quiescence skipping makes the sleep stretches nearly free, so hours
+/// of device time integrate in seconds of host time. `--quick` shrinks
+/// the horizon for smoke runs.
+fn run_lifetime_artifact(quick: bool) -> Result<String, String> {
+    // 100 kHz sampling is where mediation energy is visible over the
+    // static leakage floor: the interrupt baseline wakes the core every
+    // 10 µs, PELS keeps it asleep, and the gap is worth ~2 days of
+    // coin cell. Longer periods amortize toward the leakage-only floor
+    // (the sweep below covers that regime).
+    let period = SimTime::from_us(10);
+    let horizon = if quick {
+        SimTime::from_ms(50)
+    } else {
+        SimTime::from_ms(1_000)
+    };
+    let project = |m: Mediator| -> Result<pels_power::LifetimeReport, String> {
+        let report = Scenario::duty_cycled(m, period, horizon)
+            .try_run()
+            .map_err(|e| format!("lifetime scenario ({m:?}) failed: {e}"))?;
+        report
+            .lifetime
+            .ok_or_else(|| format!("lifetime scenario ({m:?}) produced no projection"))
+    };
+    let pels = project(Mediator::PelsSequenced)?;
+    let irq = project(Mediator::IbexIrq)?;
+
+    // Duty cycle × sensor payload × mediator, ledger on for every job.
+    let periods_us: &[u64] = if quick { &[100, 500] } else { &[10, 100, 1_000] };
+    let spec = SweepSpec::new()
+        .mediators(&[Mediator::PelsSequenced, Mediator::IbexIrq])
+        .sample_periods_us(periods_us)
+        .spi_word_counts(&[1, 4])
+        .lifetime(true);
+    let fleet = FleetEngine::auto()
+        .run_sweep(&spec)
+        .map_err(|e| format!("lifetime sweep invalid: {e}"))?;
+    if let Some((label, e)) = fleet.failed().next() {
+        return Err(format!("lifetime sweep job `{label}` failed: {e}"));
+    }
+
+    let battery = Battery::coin_cell();
+    std::fs::write(
+        "BENCH_lifetime.json",
+        lifetime_to_json(quick, &battery, period, horizon, &pels, &irq, &fleet),
+    )
+    .map_err(|e| format!("writing BENCH_lifetime.json: {e}"))?;
+
+    let mut sweep_table = String::new();
+    for (label, o) in fleet.succeeded() {
+        let projection = o.report.lifetime.as_ref().expect("lifetime(true) projection");
+        sweep_table.push_str(&format!(
+            "  {label:<44}  {:>9.1} days\n",
+            projection.days()
+        ));
+    }
+    Ok(format!(
+        "Lifetime - days-of-battery projection ({} duty periods over {:.1} s)\n\
+         PELS-sequenced node:\n{}\
+         Ibex interrupt baseline:\n{}\
+         PELS outlasts the baseline {:.2}x on the same cell\n\
+         duty cycle x payload x mediator sweep ({} jobs):\n{}\
+         (wrote BENCH_lifetime.json)\n",
+        (horizon.as_ps() / period.as_ps()),
+        horizon.as_secs_f64(),
+        pels.render(),
+        irq.render(),
+        pels.seconds / irq.seconds,
+        fleet.jobs.len(),
+        sweep_table,
     ))
 }
 
@@ -269,10 +427,6 @@ fn run_obs_artifact() -> Result<String, String> {
     )
     .map_err(|e| format!("writing OBS_flows.json: {e}"))?;
 
-    let snap = reg.snapshot();
-    std::fs::write("OBS_metrics.json", snap.to_json())
-        .map_err(|e| format!("writing OBS_metrics.json: {e}"))?;
-
     // Power over simulated time: the model evaluated once per window.
     let model = report.power_model();
     let power = report
@@ -284,6 +438,23 @@ fn run_obs_artifact() -> Result<String, String> {
     std::fs::write("OBS_timeline.json", timeline_to_json(&report, &power))
         .map_err(|e| format!("writing OBS_timeline.json: {e}"))?;
 
+    // Integrate the timeline into the energy ledger and project it onto
+    // the reference coin cell, then publish both as `power.energy.*` /
+    // `battery.*` counters so the snapshot carries the energy story too.
+    let ledger = EnergyLedger::from_timeline(&power);
+    let projection = Battery::coin_cell().project(&ledger);
+    for (key, value) in ledger
+        .metric_pairs()
+        .into_iter()
+        .chain(projection.metric_pairs())
+    {
+        reg.set_named(key, value);
+    }
+
+    let snap = reg.snapshot();
+    std::fs::write("OBS_metrics.json", snap.to_json())
+        .map_err(|e| format!("writing OBS_metrics.json: {e}"))?;
+
     let mut chrome = pels_obs::ChromeTrace::new();
     chrome.add_sim_trace(&report.trace);
     for s in &power.samples {
@@ -294,6 +465,13 @@ fn run_obs_artifact() -> Result<String, String> {
             .collect();
         chrome.add_counter("power_uw", s.start.as_us_f64(), &series);
         chrome.add_counter("power_total_uw", s.start.as_us_f64(), &[("total", s.total_uw)]);
+    }
+    // Projected state of charge as its own counter track. The curve
+    // spans days while the trace spans microseconds, so the track keeps
+    // its own time base — one tick per projected day, named in the
+    // track title so the axis is explicit.
+    for p in &projection.soc {
+        chrome.add_counter("battery_soc (t in days)", p.t_days, &[("fraction", p.fraction)]);
     }
     // Causal flow arrows: the PELS and IRQ probe chains rendered as
     // Perfetto s/t/f flows between per-component anchor slices.
@@ -310,6 +488,8 @@ fn run_obs_artifact() -> Result<String, String> {
         "Observability - metrics snapshot, trace export and timeline\n{snap}\n{}\n\
          latency distribution ({} events, p50 {} / p99 {} cycles):\n{}\
          power over simulated time ({} windows of ~{} cycles, mean {:.1} uW):\n  {}\n\
+         where the energy goes - per-component blame:\n{}\
+         {}\
          where the cycles go - PELS sequenced RMW:\n{}\
          where the cycles go - Ibex interrupt path:\n{}\
          (wrote OBS_metrics.json, OBS_trace.json, OBS_timeline.json, OBS_flows.json)\n",
@@ -322,6 +502,8 @@ fn run_obs_artifact() -> Result<String, String> {
         OBS_TIMELINE_WINDOW,
         power.mean_total_uw(),
         pels_obs::hist::sparkline(&power.total_series()),
+        ledger.render(),
+        projection.render(),
         seq.flow_report().expect("flows recorded").render(),
         irq.flow_report().expect("flows recorded").render(),
     ))
@@ -411,7 +593,7 @@ fn run_desc_artifact() -> Result<String, String> {
     ))
 }
 
-fn run_one(artifact: &str) -> Result<(), String> {
+fn run_one(artifact: &str, quick: bool) -> Result<(), String> {
     let text = match artifact {
         "table1" => {
             let mut s = String::from(
@@ -440,6 +622,7 @@ fn run_one(artifact: &str) -> Result<(), String> {
         }
         "fleet" => run_fleet_artifact()?,
         "desc" => run_desc_artifact()?,
+        "lifetime" => run_lifetime_artifact(quick)?,
         other => return Err(format!("unknown artifact `{other}` (expected one of {ALL:?})")),
     };
     println!("================================================================");
@@ -452,6 +635,9 @@ fn main() -> ExitCode {
     let before = args.len();
     args.retain(|a| a != "--obs");
     let obs = args.len() != before;
+    let before = args.len();
+    args.retain(|a| a != "--quick");
+    let quick = args.len() != before;
     if obs {
         pels_obs::profile::set_enabled(true);
     }
@@ -461,7 +647,7 @@ fn main() -> ExitCode {
         args.iter().map(String::as_str).collect()
     };
     for artifact in selected {
-        if let Err(e) = run_one(artifact) {
+        if let Err(e) = run_one(artifact, quick) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

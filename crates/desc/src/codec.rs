@@ -321,6 +321,7 @@ const SCENARIO_KEYS: &[&str] = &[
     "obs",
     "timeline_window",
     "flows",
+    "lifetime",
     "system",
 ];
 
@@ -370,6 +371,12 @@ fn dec_scenario(v: &Value, path: &str) -> Result<ScenarioDesc, DescError> {
         // causal-flow layer still parse; emission always writes it.
         flows: match opt(obj, "flows") {
             Some(v) => dec_bool(v, &format!("{path}/flows"))?,
+            None => false,
+        },
+        // Optional like `flows`: descriptions written before the
+        // energy-ledger layer still parse; emission always writes it.
+        lifetime: match opt(obj, "lifetime") {
+            Some(v) => dec_bool(v, &format!("{path}/lifetime"))?,
             None => false,
         },
     })
@@ -516,6 +523,7 @@ impl ScenarioDesc {
         let _ = writeln!(s, "  \"obs\": {},", self.obs);
         let _ = writeln!(s, "  \"timeline_window\": {},", self.timeline_window);
         let _ = writeln!(s, "  \"flows\": {},", self.flows);
+        let _ = writeln!(s, "  \"lifetime\": {},", self.lifetime);
         s.push_str("  \"system\": ");
         write_system(&mut s, &self.system, "  ", false);
         s.push_str("\n}\n");

@@ -111,6 +111,10 @@ impl DescFuzzer {
         // keeps the decoder's optional-key path and the invariance claim
         // exercised by the differential fuzzer.
         desc.flows = self.rng.ratio(1, 4);
+        // The energy ledger is likewise pure observation; sampling it
+        // keeps the optional `lifetime` key and its invariance claim in
+        // the differential corpus.
+        desc.lifetime = self.rng.ratio(1, 4);
 
         let pels_mediated = desc.mediator != Mediator::IbexIrq;
         if pels_mediated && self.rng.ratio(1, 4) {

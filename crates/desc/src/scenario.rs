@@ -53,6 +53,11 @@ pub struct ScenarioDesc {
     /// observation like `obs`: the differential `flow_invariance` suite
     /// proves runs are bit-identical with flows on and off.
     pub flows: bool,
+    /// Integrate the run's power into an energy ledger and project
+    /// battery lifetime with the report. Pure post-processing over the
+    /// activity the run recorded anyway: `tests/lifetime_invariance.rs`
+    /// proves runs are bit-identical with the ledger on and off.
+    pub lifetime: bool,
 }
 
 impl Default for ScenarioDesc {
@@ -73,6 +78,7 @@ impl Default for ScenarioDesc {
             obs: false,
             timeline_window: 0,
             flows: false,
+            lifetime: false,
         }
     }
 }

@@ -231,6 +231,25 @@ impl FleetReport {
         merged
     }
 
+    /// Folds every succeeded job's energy ledger into one batch ledger —
+    /// empty when no job ran with [`crate::SweepSpec::lifetime`].
+    ///
+    /// Deterministic whatever the worker count or completion order, like
+    /// [`FleetReport::merged_latency_histogram`]: jobs fold in input
+    /// order, so the `f64` sums see the same addends in the same
+    /// sequence on any schedule (`tests/lifetime_invariance.rs` pins
+    /// this across 1/2/8 workers). Host-side reduction only — the digest
+    /// does not cover ledgers (they are pure post-processing).
+    pub fn merged_energy_ledger(&self) -> pels_power::EnergyLedger {
+        let mut merged = pels_power::EnergyLedger::new();
+        for (_, o) in self.succeeded() {
+            if let Some(ledger) = &o.report.energy {
+                merged.merge(ledger);
+            }
+        }
+        merged
+    }
+
     /// Realized speedup: total worker-busy time over batch wall time.
     /// ~1.0 on a single worker (or a single-core host); approaches the
     /// worker count when the longest-first schedule packs well.
@@ -525,6 +544,41 @@ mod tests {
         }
         assert_eq!(h, direct);
         assert_eq!(h.p50(), Some(r.outcome("ok").unwrap().report.stats.p50));
+    }
+
+    #[test]
+    fn merged_energy_ledger_folds_succeeded_jobs() {
+        // No lifetime switch → empty ledger.
+        assert_eq!(tiny_report().merged_energy_ledger().windows(), 0);
+
+        let s = Scenario::builder().events(2).lifetime(true).build().unwrap();
+        let outcome = JobOutcome::measure(&s).unwrap();
+        let ledger = outcome.report.energy.clone().expect("lifetime ledger");
+        let r = FleetReport {
+            workers: 1,
+            jobs: vec![
+                FleetJob {
+                    label: "a".into(),
+                    elapsed: Duration::ZERO,
+                    worker: 0,
+                    stolen: false,
+                    result: Ok(outcome.clone()),
+                },
+                FleetJob {
+                    label: "b".into(),
+                    elapsed: Duration::ZERO,
+                    worker: 0,
+                    stolen: false,
+                    result: Ok(outcome),
+                },
+            ],
+            wall: Duration::ZERO,
+        };
+        let merged = r.merged_energy_ledger();
+        assert_eq!(merged.windows(), 2 * ledger.windows());
+        assert!((merged.total_uj() - 2.0 * ledger.total_uj()).abs() <= 1e-12);
+        // Identical fold on every evaluation: input order pins the sum.
+        assert_eq!(merged, r.merged_energy_ledger());
     }
 
     #[test]

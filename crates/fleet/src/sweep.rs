@@ -6,7 +6,7 @@
 //! [`FleetEngine::run_scenarios`](crate::FleetEngine::run_scenarios).
 
 use pels_interconnect::{ArbiterKind, Topology};
-use pels_sim::Frequency;
+use pels_sim::{Frequency, SimTime};
 use pels_soc::{DescError, ExecMode, Mediator, Scenario, ScenarioDesc, ScenarioError};
 use std::path::Path;
 
@@ -44,6 +44,9 @@ pub struct SweepSpec {
     timeline_window: u64,
     exec: ExecMode,
     flows: bool,
+    lifetime: bool,
+    sample_periods_us: Option<Vec<u64>>,
+    spi_word_counts: Option<Vec<u32>>,
 }
 
 impl Default for SweepSpec {
@@ -61,6 +64,9 @@ impl Default for SweepSpec {
             timeline_window: 0,
             exec: ExecMode::Fast,
             flows: false,
+            lifetime: false,
+            sample_periods_us: None,
+            spi_word_counts: None,
         }
     }
 }
@@ -154,16 +160,37 @@ impl SweepSpec {
         self
     }
 
-    /// `true` → every job disables CPU superblock execution.
-    #[deprecated(note = "use `exec_mode(ExecMode::SingleStep)`")]
-    pub fn force_single_step(mut self, force_single_step: bool) -> Self {
-        if force_single_step {
-            if self.exec == ExecMode::Fast {
-                self.exec = ExecMode::SingleStep;
-            }
-        } else if self.exec == ExecMode::SingleStep {
-            self.exec = ExecMode::Fast;
-        }
+    /// `true` → every job integrates its power into an energy ledger and
+    /// projects battery lifetime
+    /// ([`pels_soc::ScenarioReport::energy`] /
+    /// [`pels_soc::ScenarioReport::lifetime`]), and the fleet report can
+    /// fold the ledgers ([`crate::FleetReport::merged_energy_ledger`]).
+    /// Applied uniformly, like [`SweepSpec::obs`] — a reporting switch,
+    /// not a sweep axis. The ledger is pure post-processing, so the
+    /// fleet digest is invariant under this setting
+    /// (`tests/lifetime_invariance.rs`).
+    pub fn lifetime(mut self, lifetime: bool) -> Self {
+        self.lifetime = lifetime;
+        self
+    }
+
+    /// Sweeps the sensor sample period (µs) — the *sensor rate* axis of
+    /// a duty-cycle lifetime study. Unset (the default), every job keeps
+    /// its base description's period and labels stay in the legacy
+    /// format (digest stability); set, each value appends a ` T{p}us`
+    /// label component.
+    pub fn sample_periods_us(mut self, periods: &[u64]) -> Self {
+        self.sample_periods_us = Some(periods.to_vec());
+        self
+    }
+
+    /// Sweeps the words per SPI readout — the *duty cycle* axis of a
+    /// lifetime study (a longer readout burst keeps the chain active for
+    /// a larger slice of each period). Unset (the default), every job
+    /// keeps its base description's readout shape and labels stay in the
+    /// legacy format; set, each value appends a ` W{n}` label component.
+    pub fn spi_word_counts(mut self, words: &[u32]) -> Self {
+        self.spi_word_counts = Some(words.to_vec());
         self
     }
 
@@ -196,9 +223,9 @@ impl SweepSpec {
     }
 
     /// Expands the cartesian product into labelled scenarios, in a fixed
-    /// deterministic order (base-major, mediator, …, arbiter-minor).
-    /// Labels encode the base name (when set) and every axis value, so
-    /// they are unique within the sweep.
+    /// deterministic order (base-major, mediator, …, arbiter, then the
+    /// duty-cycle axes innermost). Labels encode the base name (when
+    /// set) and every axis value, so they are unique within the sweep.
     ///
     /// # Errors
     ///
@@ -212,6 +239,16 @@ impl SweepSpec {
         } else {
             &self.bases
         };
+        // Unset duty-cycle axes expand to a single "inherit from the
+        // base" point, keeping legacy labels byte-identical.
+        let periods: Vec<Option<u64>> = match &self.sample_periods_us {
+            Some(v) => v.iter().map(|&p| Some(p)).collect(),
+            None => vec![None],
+        };
+        let word_counts: Vec<Option<u32>> = match &self.spi_word_counts {
+            Some(v) => v.iter().map(|&w| Some(w)).collect(),
+            None => vec![None],
+        };
         let mut jobs = Vec::new();
         for (name, base) in bases {
             for &mediator in &self.mediators {
@@ -219,28 +256,42 @@ impl SweepSpec {
                     for &links in &self.links {
                         for &topology in &self.topologies {
                             for &arbiter in &self.arbiters {
-                                let mut desc = base.clone();
-                                desc.mediator = mediator;
-                                desc.system.freq = Frequency::from_mhz(mhz);
-                                desc.system.pels.links = links;
-                                desc.system.topology = topology;
-                                desc.system.arbiter = arbiter;
-                                desc.events = self.events;
-                                desc.rmw_only = self.rmw_only;
-                                desc.obs = self.obs;
-                                desc.timeline_window = self.timeline_window;
-                                desc.exec = self.exec;
-                                desc.flows = self.flows;
-                                let scenario = Scenario::from_desc(desc)?;
-                                let prefix = if name.is_empty() {
-                                    String::new()
-                                } else {
-                                    format!("{name} ")
-                                };
-                                let label = format!(
-                                    "{prefix}{mediator}@{mhz:.0}MHz links{links} {topology} {arbiter}"
-                                );
-                                jobs.push((label, scenario));
+                                for &period_us in &periods {
+                                    for &words in &word_counts {
+                                        let mut desc = base.clone();
+                                        desc.mediator = mediator;
+                                        desc.system.freq = Frequency::from_mhz(mhz);
+                                        desc.system.pels.links = links;
+                                        desc.system.topology = topology;
+                                        desc.system.arbiter = arbiter;
+                                        desc.events = self.events;
+                                        desc.rmw_only = self.rmw_only;
+                                        desc.obs = self.obs;
+                                        desc.timeline_window = self.timeline_window;
+                                        desc.exec = self.exec;
+                                        desc.flows = self.flows;
+                                        desc.lifetime = self.lifetime;
+                                        let mut suffix = String::new();
+                                        if let Some(p) = period_us {
+                                            desc.sample_period = SimTime::from_us(p);
+                                            suffix.push_str(&format!(" T{p}us"));
+                                        }
+                                        if let Some(w) = words {
+                                            desc.spi_words = w;
+                                            suffix.push_str(&format!(" W{w}"));
+                                        }
+                                        let scenario = Scenario::from_desc(desc)?;
+                                        let prefix = if name.is_empty() {
+                                            String::new()
+                                        } else {
+                                            format!("{name} ")
+                                        };
+                                        let label = format!(
+                                            "{prefix}{mediator}@{mhz:.0}MHz links{links} {topology} {arbiter}{suffix}"
+                                        );
+                                        jobs.push((label, scenario));
+                                    }
+                                }
                             }
                         }
                     }
@@ -306,6 +357,28 @@ mod tests {
         // Unnamed default base keeps legacy labels (digest stability).
         let legacy = SweepSpec::new().jobs().unwrap();
         assert!(legacy[0].0.starts_with("pels-sequenced@55MHz"));
+    }
+
+    #[test]
+    fn duty_cycle_axes_expand_and_label() {
+        let spec = SweepSpec::new()
+            .mediators(&[Mediator::PelsSequenced, Mediator::IbexIrq])
+            .sample_periods_us(&[100, 1000])
+            .spi_word_counts(&[2, 8])
+            .lifetime(true);
+        let jobs = spec.jobs().unwrap();
+        assert_eq!(jobs.len(), 8);
+        for (label, scenario) in &jobs {
+            assert!(scenario.lifetime, "{label}");
+            assert!(label.contains("us W"), "label carries both axes: {label}");
+        }
+        assert!(jobs[0].0.ends_with("T100us W2"), "{}", jobs[0].0);
+        assert_eq!(jobs[1].1.spi_words, 8);
+        assert_eq!(jobs[2].1.sample_period, SimTime::from_us(1000));
+        // Unset axes keep legacy labels byte-identical.
+        let legacy = SweepSpec::new().jobs().unwrap();
+        assert_eq!(legacy[0].0, "pels-sequenced@55MHz links1 shared round-robin");
+        assert!(!legacy[0].1.lifetime, "lifetime is opt-in");
     }
 
     #[test]

@@ -395,6 +395,45 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_answers_every_quantile() {
+        // A lifetime sweep cell can hold exactly one latency sample;
+        // every quantile must collapse to it, exact and non-None.
+        for v in [0, 1, 63, 64, 12_345, u64::MAX >> 8] {
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.count(), 1);
+            assert_eq!(h.min(), Some(v));
+            assert_eq!(h.max(), Some(v));
+            for q in [0.0, 0.001, 0.5, 0.9, 0.99, 1.0] {
+                let got = h.quantile(q).expect("single sample has every quantile");
+                if v < 64 {
+                    assert_eq!(got, v, "exact bucket, q={q}");
+                } else {
+                    // Log-bucketed: within the bucket's relative error.
+                    let rel = (got as f64 - v as f64).abs() / v as f64;
+                    assert!(rel <= 0.04, "v={v} q={q} got={got}");
+                }
+            }
+            assert_eq!(h.p50(), h.quantile(0.5));
+            assert_eq!(h.p99(), h.quantile(0.99));
+        }
+    }
+
+    #[test]
+    fn merge_empty_into_single_sample_preserves_quantiles() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.merge(&Histogram::new());
+        assert_eq!(h.quantile(0.5), Some(42));
+        assert_eq!(h.mean(), Some(42.0));
+        // And the other direction: empty absorbing one sample adopts it.
+        let mut e = Histogram::new();
+        e.merge(&h);
+        assert_eq!(e.quantile(1.0), Some(42));
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
     fn render_shows_every_nonzero_bucket() {
         let mut h = Histogram::new();
         for v in [7, 7, 7, 2, 16] {

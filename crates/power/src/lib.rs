@@ -23,18 +23,27 @@
 //!   window of a [`pels_sim::ActivityTimeline`], producing a
 //!   [`PowerTimeline`] of per-component samples over simulated time —
 //!   the Figure 5 bars as curves.
+//! * **Energy & lifetime** ([`energy`], [`battery`]): integrates a
+//!   [`PowerTimeline`] into a per-component [`EnergyLedger`] (blame rows
+//!   partition the total exactly) and discharges a [`Battery`] model
+//!   with its mean draw to project days-to-empty — the paper's 2.5×
+//!   power ratio restated as the lifetime question ULP designers ask.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod battery;
 pub mod calibration;
+pub mod energy;
 pub mod model;
 pub mod timeline;
 pub mod units;
 
 pub use area::{pels_area_kge, pulpissimo_breakdown, AreaBlock, IBEX_KGE, PICORV32_KGE};
+pub use battery::{Battery, LifetimeBlame, LifetimeReport, SocPoint};
 pub use calibration::Calibration;
+pub use energy::{BlameRow, EnergyLedger};
 pub use model::{ComponentPower, PowerModel, PowerReport};
 pub use timeline::{PowerSample, PowerTimeline};
 pub use units::{Energy, Power};

@@ -218,6 +218,28 @@ mod tests {
     }
 
     #[test]
+    fn mean_weights_quiescence_stretched_windows_by_duration() {
+        // One nominal-width busy window next to a 99x-stretched idle
+        // window: the weighted mean must equal the hand-computed
+        // Σ(p·d)/Σd, which sits very close to the idle power.
+        let mut t = ActivityTimeline::new(100);
+        t.windows.push(busy_window(0, 100, 1000));
+        t.windows.push(ActivityWindow {
+            start_cycle: 100,
+            end_cycle: 10_000, // quiescence-stretched: 99 windows' span
+            activity: ActivitySet::new(),
+        });
+        let pt = PowerTimeline::from_activity(&model(), &t, Frequency::from_mhz(100.0));
+        let (busy, idle) = (pt.samples[0].total_uw, pt.samples[1].total_uw);
+        let expected = (busy * 100.0 + idle * 9_900.0) / 10_000.0;
+        assert!((pt.mean_total_uw() - expected).abs() <= 1e-12 * expected);
+        // The stretch dominates: only 1% of the busy/idle gap survives
+        // into the mean, which stays strictly between the two powers.
+        assert!(pt.mean_total_uw() - idle <= (busy - idle) * 0.0101);
+        assert!(pt.mean_total_uw() > idle && pt.mean_total_uw() < busy);
+    }
+
+    #[test]
     fn component_names_are_sorted_union() {
         let mut t = ActivityTimeline::new(10);
         t.windows.push(busy_window(0, 10, 1));

@@ -42,6 +42,30 @@ impl Energy {
         self.0 / 1e3
     }
 
+    /// Creates an energy from microjoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or negative values.
+    pub fn from_uj(uj: f64) -> Self {
+        Energy::from_pj(uj * 1e6)
+    }
+
+    /// The value in microjoules.
+    pub fn as_uj(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// The value in millijoules.
+    pub fn as_mj(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The value in joules.
+    pub fn as_j(self) -> f64 {
+        self.0 / 1e12
+    }
+
     /// Average power when spread over `window`.
     ///
     /// # Panics
@@ -89,7 +113,15 @@ impl Sum for Energy {
 
 impl fmt::Display for Energy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1e3 {
+        // Auto-scale through the full pJ → J range so blame tables at
+        // long horizons stay readable.
+        if self.0 >= 1e12 {
+            write!(f, "{:.3} J", self.as_j())
+        } else if self.0 >= 1e9 {
+            write!(f, "{:.3} mJ", self.as_mj())
+        } else if self.0 >= 1e6 {
+            write!(f, "{:.3} uJ", self.as_uj())
+        } else if self.0 >= 1e3 {
             write!(f, "{:.3} nJ", self.as_nj())
         } else {
             write!(f, "{:.3} pJ", self.0)
@@ -123,6 +155,11 @@ impl Power {
     /// The value in milliwatts.
     pub fn as_mw(self) -> f64 {
         self.0 / 1e3
+    }
+
+    /// The value in watts.
+    pub fn as_w(self) -> f64 {
+        self.0 / 1e6
     }
 
     /// Energy consumed over `window` at this power.
@@ -177,7 +214,9 @@ impl Sum for Power {
 
 impl fmt::Display for Power {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1e3 {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} W", self.as_w())
+        } else if self.0 >= 1e3 {
             write!(f, "{:.3} mW", self.as_mw())
         } else {
             write!(f, "{:.3} uW", self.0)
@@ -224,6 +263,24 @@ mod tests {
         assert_eq!(Energy::from_pj(1500.0).to_string(), "1.500 nJ");
         assert_eq!(Power::from_uw(999.0).to_string(), "999.000 uW");
         assert_eq!(Power::from_uw(1500.0).to_string(), "1.500 mW");
+    }
+
+    #[test]
+    fn display_scales_to_long_horizon_units() {
+        assert_eq!(Energy::from_uj(1.5).to_string(), "1.500 uJ");
+        assert_eq!(Energy::from_uj(1500.0).to_string(), "1.500 mJ");
+        assert_eq!(Energy::from_uj(2_430_000.0).to_string(), "2.430 J");
+        assert_eq!(Power::from_uw(2.5e6).to_string(), "2.500 W");
+    }
+
+    #[test]
+    fn microjoule_accessors_roundtrip() {
+        let e = Energy::from_uj(3.25);
+        assert!((e.as_uj() - 3.25).abs() < 1e-12);
+        assert!((e.as_mj() - 3.25e-3).abs() < 1e-15);
+        assert!((e.as_j() - 3.25e-6).abs() < 1e-18);
+        assert!((e.as_pj() - 3.25e6).abs() < 1e-6);
+        assert!((Power::from_uw(4.0e6).as_w() - 4.0).abs() < 1e-12);
     }
 
     #[test]

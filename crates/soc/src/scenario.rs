@@ -24,7 +24,9 @@ use pels_core::{ActionMode, Command, Cond, PelsConfig, Program, TriggerCond};
 use pels_desc::{DescError, ExecMode, ScenarioDesc};
 use pels_interconnect::{ApbSlave, ArbiterKind, Topology};
 use pels_periph::{Spi, Timer};
-use pels_power::{PowerModel, PowerReport};
+use pels_power::{
+    Battery, EnergyLedger, LifetimeReport, PowerModel, PowerReport, PowerSample, PowerTimeline,
+};
 use pels_sim::{ActivitySet, EventVector, Frequency, SimTime, Trace};
 use std::fmt;
 use std::ops::Deref;
@@ -321,32 +323,6 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Forces the reference simulation path (naive scheduling, no decode
-    /// cache).
-    #[deprecated(note = "use `exec_mode(ExecMode::Naive)`")]
-    pub fn force_naive(mut self, force_naive: bool) -> Self {
-        if force_naive {
-            self.draft.exec = ExecMode::Naive;
-        } else if self.draft.exec == ExecMode::Naive {
-            self.draft.exec = ExecMode::Fast;
-        }
-        self
-    }
-
-    /// Disables CPU superblock execution only (single-instruction
-    /// scheduler visits), keeping the other fast-path accelerators.
-    #[deprecated(note = "use `exec_mode(ExecMode::SingleStep)`")]
-    pub fn force_single_step(mut self, force_single_step: bool) -> Self {
-        if force_single_step {
-            if self.draft.exec == ExecMode::Fast {
-                self.draft.exec = ExecMode::SingleStep;
-            }
-        } else if self.draft.exec == ExecMode::SingleStep {
-            self.draft.exec = ExecMode::Fast;
-        }
-        self
-    }
-
     /// Collects an observability metrics snapshot with the report (see
     /// [`ScenarioDesc::obs`]).
     pub fn obs(mut self, obs: bool) -> Self {
@@ -368,6 +344,16 @@ impl ScenarioBuilder {
     /// flows on and off.
     pub fn flows(mut self, flows: bool) -> Self {
         self.draft.flows = flows;
+        self
+    }
+
+    /// Integrates the run's power into an [`pels_power::EnergyLedger`]
+    /// and projects battery lifetime with the report (see
+    /// [`ScenarioDesc::lifetime`]). Pure post-processing over activity
+    /// the run records anyway: `tests/lifetime_invariance.rs` proves the
+    /// run is bit-identical with the ledger on and off.
+    pub fn lifetime(mut self, lifetime: bool) -> Self {
+        self.draft.lifetime = lifetime;
         self
     }
 
@@ -455,6 +441,41 @@ impl Scenario {
     pub fn iso_frequency(mediator: Mediator) -> Self {
         Self::builder()
             .mediator(mediator)
+            .build()
+            .expect("preset scenarios are valid by construction")
+    }
+
+    /// A long-horizon duty-cycled sensor node: every `sample_period` the
+    /// node *sleeps* (timer counting, everything else quiescent),
+    /// *senses* (autonomous SPI readout of the default two words) and
+    /// *bursts* (mediation + actuation), repeated until `horizon` of
+    /// simulated time is covered. Lifetime projection is switched on and
+    /// the activity timeline samples one window per duty period, so the
+    /// sleep stretch collapses into a single quiescence-stretched sample
+    /// — hours of device time integrate in seconds of host time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_period` is zero or does not fit the timer's
+    /// 32-bit compare register at the default 55 MHz clock (periods up
+    /// to ~78 s).
+    pub fn duty_cycled(mediator: Mediator, sample_period: SimTime, horizon: SimTime) -> Self {
+        assert!(sample_period.as_ps() > 0, "sample_period must be non-zero");
+        let events = (horizon.as_ps() / sample_period.as_ps()).max(1);
+        assert!(events <= u64::from(u32::MAX), "horizon holds too many events");
+        let builder = Self::builder()
+            .mediator(mediator)
+            .sample_period(sample_period)
+            .events(events as u32)
+            .lifetime(true);
+        let period_cycles =
+            sample_period.as_ps() / builder.draft.system.freq.period_ps();
+        assert!(
+            period_cycles <= u64::from(u32::MAX),
+            "sample_period exceeds the timer's 32-bit compare range"
+        );
+        builder
+            .timeline_window(period_cycles.max(1))
             .build()
             .expect("preset scenarios are valid by construction")
     }
@@ -687,6 +708,40 @@ impl Scenario {
         let idle_window = idle_soc.window_time();
         let idle_activity = idle_soc.drain_activity();
 
+        // Energy ledger + lifetime projection: pure post-processing over
+        // activity the run recorded anyway, computed after both windows
+        // completed so it cannot perturb architectural results
+        // (`tests/lifetime_invariance.rs`). With a sampled timeline the
+        // ledger integrates per window; without one it integrates the
+        // whole active window as a single sample.
+        let (energy, lifetime) = if self.lifetime {
+            let model = power_setup::power_model_for(self.pels());
+            let pt = match &timeline {
+                Some(t) => PowerTimeline::from_activity(&model, t, self.freq()),
+                None => {
+                    let report = model.report(&activity, window);
+                    let components = report
+                        .components()
+                        .iter()
+                        .map(|c| (c.name.clone(), c.total().as_uw()))
+                        .collect();
+                    PowerTimeline {
+                        samples: vec![PowerSample {
+                            start: SimTime::ZERO,
+                            end: window,
+                            total_uw: report.total().as_uw(),
+                            components,
+                        }],
+                    }
+                }
+            };
+            let ledger = EnergyLedger::from_timeline(&pt);
+            let projection = Battery::coin_cell().project(&ledger);
+            (Some(ledger), Some(projection))
+        } else {
+            (None, None)
+        };
+
         Ok(ScenarioReport {
             mediator: self.mediator,
             freq: self.freq(),
@@ -706,6 +761,8 @@ impl Scenario {
             decode_cache_misses,
             metrics,
             flows,
+            energy,
+            lifetime,
         })
     }
 
@@ -768,6 +825,12 @@ pub struct ScenarioReport {
     /// scenario was built with [`ScenarioBuilder::flows`]. Analyze it
     /// with [`ScenarioReport::flow_report`].
     pub flows: Option<pels_sim::FlowTrace>,
+    /// Integrated per-component energy of the active run — `Some` only
+    /// when the scenario was built with [`ScenarioBuilder::lifetime`].
+    pub energy: Option<EnergyLedger>,
+    /// Battery-lifetime projection over [`Self::energy`] (the default
+    /// coin cell) — `Some` exactly when `energy` is.
+    pub lifetime: Option<LifetimeReport>,
 }
 
 impl ScenarioReport {
@@ -874,6 +937,18 @@ impl ScenarioReport {
             self.decode_cache_hits, self.decode_cache_misses
         );
         let _ = writeln!(s, "  \"trace_events\": {},", self.trace.len());
+        match &self.energy {
+            Some(ledger) => {
+                let _ = writeln!(s, "  \"energy\": {},", ledger.to_json());
+            }
+            None => s.push_str("  \"energy\": null,\n"),
+        }
+        match &self.lifetime {
+            Some(projection) => {
+                let _ = writeln!(s, "  \"lifetime\": {},", projection.to_json());
+            }
+            None => s.push_str("  \"lifetime\": null,\n"),
+        }
         match &self.metrics {
             Some(snap) => {
                 s.push_str("  \"metrics\": {");
@@ -985,6 +1060,45 @@ mod tests {
         assert!(json.contains("\"decode_cache\""));
         assert!(json.contains("\"cpu.decode_cache.hits\""));
         assert!(plain.to_json().contains("\"metrics\": null"));
+    }
+
+    #[test]
+    fn lifetime_projection_is_opt_in_and_populated() {
+        let plain = Scenario::iso_frequency(Mediator::PelsSequenced).run();
+        assert!(plain.energy.is_none() && plain.lifetime.is_none());
+        assert!(plain.to_json().contains("\"energy\": null"));
+
+        let s = Scenario::duty_cycled(
+            Mediator::PelsSequenced,
+            SimTime::from_us(50),
+            SimTime::from_ms(1),
+        );
+        assert_eq!(s.events, 20);
+        assert!(s.lifetime);
+        let report = s.run();
+        let ledger = report.energy.as_ref().expect("ledger with lifetime(true)");
+        assert!(ledger.total_uj() > 0.0);
+        assert!(ledger.windows() > 1, "one window per duty period");
+        let projection = report.lifetime.as_ref().expect("projection");
+        assert!(projection.days() > 0.0 && projection.days().is_finite());
+        let json = report.to_json();
+        assert!(json.contains("\"energy\": {"));
+        assert!(json.contains("\"days\":"));
+    }
+
+    #[test]
+    fn lifetime_without_timeline_integrates_one_window() {
+        let s = Scenario::builder()
+            .mediator(Mediator::IbexIrq)
+            .events(5)
+            .lifetime(true)
+            .build()
+            .unwrap();
+        let report = s.run();
+        let ledger = report.energy.as_ref().unwrap();
+        assert_eq!(ledger.windows(), 1);
+        assert_eq!(ledger.span(), report.active_window);
+        assert!(ledger.mean_power().as_uw() > 0.0);
     }
 
     #[test]

@@ -53,19 +53,29 @@ cargo test -q --test flow_invariance
 cargo test -q --test flow_properties
 echo "bench_smoke: causal flow differential + property suites OK"
 
-# Observability gate: regenerate the OBS artifacts with the profiler on,
-# then schema-check them — the reference counters (decode cache,
-# scheduler, superblock/fusion tiers, fleet workers) must be present and
-# nonzero, the Chrome trace must be well-formed trace-event JSON with
-# power counter tracks and causal flow arrows (every "s" matched by an
-# "f", ids bound to enclosing slices), the power timeline must have
-# contiguous non-negative windows, and OBS_flows.json must carry
-# non-empty per-mediator flow reports with monotone hop times and
-# allowlisted stages. Drift in any exporter fails here instead of
-# shipping broken artifacts.
-cargo run -q --release -p pels-bench --bin reproduce -- sim_throughput --obs > /dev/null
+# Energy-ledger gate: run the differential suite that proves the
+# lifetime layer is pure observation — ledger on/off runs bit-identical
+# across every mediator, blame rows partition the timeline exactly, and
+# fleet digests plus the merged ledger are invariant under worker count.
+cargo test -q --test lifetime_invariance
+echo "bench_smoke: energy ledger invariance suite OK"
+
+# Observability gate: regenerate the OBS artifacts with the profiler on
+# (plus a reduced-horizon lifetime projection), then schema-check them —
+# the reference counters (decode cache, scheduler, superblock/fusion
+# tiers, fleet workers, energy ledger, battery projection) must be
+# present and nonzero, the Chrome trace must be well-formed trace-event
+# JSON with power counter tracks, a battery state-of-charge track and
+# causal flow arrows (every "s" matched by an "f", ids bound to
+# enclosing slices), the power timeline must have contiguous
+# non-negative windows, OBS_flows.json must carry non-empty per-mediator
+# flow reports with monotone hop times and allowlisted stages, and
+# BENCH_lifetime.json must carry the battery parameters, a positive
+# PELS-vs-IRQ headline and non-empty sweep rows. Drift in any exporter
+# fails here instead of shipping broken artifacts.
+cargo run -q --release -p pels-bench --bin reproduce -- sim_throughput lifetime --quick --obs > /dev/null
 cargo run -q --release -p pels-bench --bin obs_check
-echo "bench_smoke: obs artifacts OK"
+echo "bench_smoke: obs + lifetime artifacts OK"
 
 # The throughput artifact must carry the tracked superblock and fused
 # before/after pairs — a missing key means a busy-linking tier or its
@@ -92,6 +102,18 @@ cargo run -q --release -p pels-bench --bin reproduce -- desc > /dev/null
 cargo run -q --release -p pels-bench --bin desc_check
 cargo test -q --test desc_fuzz
 echo "bench_smoke: description corpus + fuzzer OK"
+
+# Hygiene: every generated artifact class must stay ignored — a missing
+# pattern means `git status` noise at best and a committed multi-MB
+# artifact at worst.
+for f in BENCH_lifetime.json BENCH_sim_throughput.json BENCH_fleet_throughput.json \
+         OBS_metrics.json OBS_trace.json OBS_timeline.json OBS_flows.json wave.vcd; do
+    git check-ignore -q "$f" || {
+        echo "bench_smoke: generated artifact $f is not gitignored" >&2
+        exit 1
+    }
+done
+echo "bench_smoke: artifact gitignore audit OK"
 
 cargo clippy --workspace --all-targets -q -- -D warnings
 echo "bench_smoke: clippy OK"
